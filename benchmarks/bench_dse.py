@@ -1,0 +1,148 @@
+"""X10 — security-aware DSE over countermeasure stacks.
+
+The paper's endgame (Sec. IV): the flow explores the joint space of
+countermeasures with security levels as first-class objectives.  This
+bench builds five real configurations of the PRESENT S-box —
+
+  plain, WDDL, auto-masked, masked+duplication, masked+parity —
+
+measures (area, TVLA verdict, FIA coverage) for each, and extracts the
+Pareto front.  Expected shape: the front holds plain (cheapest),
+WDDL/masked (SCA level), and masked+duplication (SCA+FIA level), while
+**masked+parity is dominated** — it pays duplication-class area but
+loses the SCA level to the composition break of ref [61].
+"""
+
+import random
+
+import pytest
+
+from repro.core import Candidate, pareto_front
+from repro.crypto import present_sbox_netlist
+from repro.fia import Fault, FaultKind, duplicate_and_compare, \
+    fault_campaign, parity_protect
+from repro.netlist import encode_int, ppa_report
+from repro.sca import (
+    dual_rail_stimulus,
+    leakage_traces,
+    mask_netlist,
+    tvla,
+    wddl_transform,
+)
+
+N_TRACES = 3000
+FIXED_VALUE = 0xB
+
+
+def _tvla_t(netlist, make_stim, seed):
+    rng_f, rng_r = random.Random(seed), random.Random(seed + 1)
+    fixed = [make_stim(FIXED_VALUE, rng_f) for _ in range(N_TRACES)]
+    rand = [make_stim(rng_r.randrange(16), rng_r)
+            for _ in range(N_TRACES)]
+    return tvla(
+        leakage_traces(netlist, fixed, noise_sigma=0.3, seed=seed),
+        leakage_traces(netlist, rand, noise_sigma=0.3, seed=seed + 1),
+    ).max_abs_t
+
+
+def _fia_coverage(netlist, alarm, region_prefix, seed=0):
+    faults = [
+        Fault(g, FaultKind.STUCK_AT_0) for g in netlist.gates
+        if g.startswith(region_prefix)
+    ]
+    if not faults or alarm is None:
+        return 0.0
+    report = fault_campaign(netlist, faults, n_vectors=64, alarm=alarm,
+                            seed=seed)
+    return report.coverage
+
+
+def build_candidates():
+    base = present_sbox_netlist()
+    candidates = []
+
+    def plain_stim(x, rng):
+        return encode_int(x, [f"x{i}" for i in range(4)])
+
+    candidates.append(Candidate(
+        "plain",
+        objectives={
+            "area": ppa_report(base).area,
+            "tvla_t": _tvla_t(base, plain_stim, 1),
+            "fia_coverage": 0.0,
+        }))
+
+    dual, _ = wddl_transform(base)
+    candidates.append(Candidate(
+        "wddl",
+        objectives={
+            "area": ppa_report(dual).area,
+            "tvla_t": _tvla_t(
+                dual, lambda x, rng: dual_rail_stimulus(plain_stim(x, rng)),
+                11),
+            "fia_coverage": 0.0,
+        }))
+
+    masked = mask_netlist(base)
+
+    def masked_stim(x, rng):
+        return masked.stimulus(plain_stim(x, rng), rng)
+
+    candidates.append(Candidate(
+        "masked",
+        objectives={
+            "area": ppa_report(masked.netlist).area,
+            "tvla_t": _tvla_t(masked.netlist, masked_stim, 21),
+            "fia_coverage": 0.0,
+        }))
+
+    for scheme_name, protect in (("masked+dup", duplicate_and_compare),
+                                 ("masked+parity", parity_protect)):
+        protected = protect(masked.netlist)
+        candidates.append(Candidate(
+            scheme_name,
+            objectives={
+                "area": ppa_report(protected.netlist).area,
+                "tvla_t": _tvla_t(protected.netlist, masked_stim,
+                                  31 if scheme_name == "masked+dup"
+                                  else 41),
+                "fia_coverage": _fia_coverage(
+                    protected.netlist, protected.alarm, "m_"),
+            }))
+
+    # Derive the step-function security levels the DSE trades on.
+    for candidate in candidates:
+        candidate.objectives["sca_level"] = (
+            1.0 if candidate.objectives["tvla_t"] <= 4.5 else 0.0)
+        candidate.objectives["fia_level"] = (
+            1.0 if candidate.objectives["fia_coverage"] >= 0.99 else 0.0)
+    return candidates
+
+
+def test_stack_dse(benchmark):
+    candidates = benchmark.pedantic(build_candidates, rounds=1,
+                                    iterations=1)
+    front = pareto_front(candidates,
+                         maximize=["sca_level", "fia_level"],
+                         minimize=["area"])
+    front_names = {c.name for c in front}
+    print("\n=== DSE over countermeasure stacks (PRESENT S-box) ===")
+    print(f"{'stack':<16} {'area':>8} {'TVLA |t|':>9} {'FIA cov':>8} "
+          f"{'SCA lvl':>8} {'FIA lvl':>8} {'Pareto':>7}")
+    for c in candidates:
+        o = c.objectives
+        print(f"{c.name:<16} {o['area']:>8.0f} {o['tvla_t']:>9.1f} "
+              f"{o['fia_coverage']:>8.2f} {o['sca_level']:>8.0f} "
+              f"{o['fia_level']:>8.0f} "
+              f"{'yes' if c.name in front_names else 'no':>7}")
+    by_name = {c.name: c.objectives for c in candidates}
+    # the security facts
+    assert by_name["plain"]["tvla_t"] > 4.5
+    assert by_name["masked"]["tvla_t"] < 4.5
+    assert by_name["wddl"]["tvla_t"] < 4.5
+    assert by_name["masked+dup"]["tvla_t"] < 4.5
+    assert by_name["masked+parity"]["tvla_t"] > 4.5   # ref [61]
+    assert by_name["masked+dup"]["fia_level"] == 1.0
+    # the DSE consequence: the broken composition is never on the front
+    assert "masked+parity" not in front_names
+    assert "masked+dup" in front_names

@@ -1,0 +1,101 @@
+"""X2 — Sec. III-B/III-D: logic locking vs the SAT attack.
+
+Sweeps EPIC key width on the AES S-box and measures the oracle-guided
+SAT attack's effort (DIP count, wall time); then contrasts SFLL-HD at
+equal key budget.  Paper-shape expectations: EPIC falls in few DIPs at
+every practical width (DIPs grow mildly with key bits), while SFLL-HD's
+DIP count scales with the protected input space — the
+resilience/corruption trade-off the paper cites via [51].
+"""
+
+import time
+
+import pytest
+
+from repro.core import sweep_locking
+from repro.crypto import aes_sbox_netlist
+from repro.ip import attack_locked_circuit, lock_xor, sfll_hd_lock
+from repro.netlist import random_circuit
+
+
+def run_epic_sweep():
+    sbox = aes_sbox_netlist()
+    return sweep_locking(sbox, [4, 8, 16, 24], seed=1,
+                         max_iterations=400)
+
+
+def test_epic_key_width_sweep(benchmark):
+    points = benchmark.pedantic(run_epic_sweep, rounds=1, iterations=1)
+    print("\n=== EPIC locking on the AES S-box vs SAT attack ===")
+    print(f"{'key bits':>8} {'area':>8} {'DIPs':>6} {'seconds':>8}")
+    for p in points:
+        print(f"{p.key_bits:>8} {p.area:>8.1f} "
+              f"{p.sat_attack_iterations:>6} {p.attack_seconds:>8.2f}")
+    # every width falls to the attack within the budget
+    assert all(not p.attack_gave_up for p in points)
+    # area grows monotonically with key bits — the smooth cost curve
+    areas = [p.area for p in points]
+    assert areas == sorted(areas)
+    # attack effort stays tiny relative to 2^k brute force
+    for p in points:
+        assert p.sat_attack_iterations < 2 ** p.key_bits
+
+
+def run_sfll_contrast():
+    base = random_circuit(7, 60, 3, seed=2)
+    epic = lock_xor(base, 7, seed=2)
+    epic_attack = attack_locked_circuit(epic)
+    results = {"epic_dips": epic_attack.iterations}
+    for bits in (4, 5, 6, 7):
+        sfll = sfll_hd_lock(base, base.outputs[0], h=0,
+                            n_protect_bits=bits, seed=2)
+        began = time.perf_counter()
+        attack = attack_locked_circuit(sfll.locked, max_iterations=300)
+        results[f"sfll_{bits}"] = (
+            attack.iterations, attack.gave_up,
+            time.perf_counter() - began)
+    return results
+
+
+def test_sfll_resilience_scaling(benchmark):
+    results = benchmark.pedantic(run_sfll_contrast, rounds=1,
+                                 iterations=1)
+    print("\n=== SFLL-HD(0): SAT-attack effort vs protected bits ===")
+    print(f"EPIC-7 baseline: {results['epic_dips']} DIPs")
+    dips = []
+    for bits in (4, 5, 6, 7):
+        iterations, gave_up, seconds = results[f"sfll_{bits}"]
+        dips.append(iterations)
+        print(f"  {bits} protected bits: {iterations} DIPs "
+              f"({seconds:.2f}s){' [budget hit]' if gave_up else ''}")
+    # paper shape: SFLL effort grows ~2^bits, far above EPIC's.
+    assert dips[-1] > dips[0]
+    assert dips[-1] > results["epic_dips"]
+
+
+def run_antisat_scaling():
+    from repro.ip import antisat_lock
+    base = random_circuit(8, 60, 3, seed=4)
+    rows = {}
+    for width in (3, 4, 5, 6):
+        locked = antisat_lock(base, width=width, seed=4)
+        began = time.perf_counter()
+        attack = attack_locked_circuit(locked, max_iterations=300)
+        rows[width] = (attack.iterations, attack.gave_up,
+                       time.perf_counter() - began)
+    return rows
+
+
+def test_antisat_resilience_scaling(benchmark):
+    rows = benchmark.pedantic(run_antisat_scaling, rounds=1,
+                              iterations=1)
+    print("\n=== Anti-SAT: SAT-attack effort vs block width ===")
+    dips = []
+    for width, (iterations, gave_up, seconds) in rows.items():
+        dips.append(iterations)
+        print(f"  width {width} ({2 * width} key bits): {iterations} "
+              f"DIPs ({seconds:.2f}s)"
+              f"{' [budget hit]' if gave_up else ''}")
+    # ~2^width: every step at least x1.5
+    for a, b in zip(dips, dips[1:]):
+        assert b >= 1.5 * a

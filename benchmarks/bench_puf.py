@@ -1,0 +1,64 @@
+"""X8 — Sec. III-C/III-E: PUF quality vs layout and the modeling attack.
+
+Evaluates arbiter-PUF populations across layout-asymmetry settings
+(ref [30]: asymmetric layout enhances element variation) and RO PUFs,
+reporting the three standard metrics; then runs the ML modeling attack
+that a security-aware verification flow must include in its threat
+model.  Paper-shape expectations: metrics near ideal (0.5 / 1.0 / 0.5),
+asymmetry helps reliability, and the bare arbiter PUF is clonable.
+"""
+
+import pytest
+
+from repro.ip import (
+    ArbiterPuf,
+    evaluate_arbiter_population,
+    evaluate_ro_population,
+    model_attack_arbiter,
+)
+
+
+def run_puf_study():
+    rows = []
+    for asymmetry in (0.0, 1.0, 2.0):
+        metrics = evaluate_arbiter_population(
+            n_chips=15, n_challenges=400, n_repeats=7,
+            asymmetry=asymmetry, seed=1)
+        rows.append((asymmetry, metrics))
+    ro = evaluate_ro_population(n_chips=15, n_rings=64, n_repeats=7,
+                                seed=2)
+    attack = {
+        n_train: model_attack_arbiter(ArbiterPuf(64, seed=3),
+                                      n_train=n_train, seed=4)
+        for n_train in (200, 1000, 4000)
+    }
+    return {"arbiter": rows, "ro": ro, "attack": attack}
+
+
+def test_puf_quality_and_attack(benchmark):
+    study = benchmark.pedantic(run_puf_study, rounds=1, iterations=1)
+    print("\n=== arbiter PUF population metrics vs layout asymmetry ===")
+    print(f"{'asymmetry':>9} {'uniformity':>11} {'reliability':>12} "
+          f"{'uniqueness':>11}")
+    for asymmetry, m in study["arbiter"]:
+        print(f"{asymmetry:>9.1f} {m.uniformity:>11.3f} "
+              f"{m.reliability:>12.4f} {m.uniqueness:>11.3f}")
+    ro = study["ro"]
+    print(f"RO PUF: uniformity {ro.uniformity:.3f}, reliability "
+          f"{ro.reliability:.4f}, uniqueness {ro.uniqueness:.3f}")
+    print("modeling attack accuracy vs training CRPs: "
+          + ", ".join(f"{n}: {a:.1%}"
+                      for n, a in study["attack"].items()))
+    base = study["arbiter"][0][1]
+    enhanced = study["arbiter"][-1][1]
+    # quality metrics near ideal for all configurations
+    for _, m in study["arbiter"]:
+        assert 0.4 < m.uniformity < 0.6
+        assert m.reliability > 0.95
+        assert 0.4 < m.uniqueness < 0.6
+    # asymmetric layout enhances reliability (variation up, noise flat)
+    assert enhanced.reliability >= base.reliability
+    # the modeling attack improves with data and ends up near-perfect
+    accuracies = list(study["attack"].values())
+    assert accuracies[-1] > accuracies[0]
+    assert accuracies[-1] > 0.95

@@ -1,0 +1,88 @@
+"""X4 — Sec. III-C: split manufacturing vs the proximity attack.
+
+Sweeps the split layer and the defenses on a placed design.
+Paper-shape expectations:
+
+* a classical PPA-optimized layout leaves strong hints: the via-level
+  proximity attack recovers most hidden connections at practical split
+  layers;
+* wire lifting [53] removes the stub hints and collapses CCR;
+* placement perturbation [54] degrades the M1-split cell-proximity
+  attacker;
+* defense costs appear as extra wirelength (BEOL usage).
+"""
+
+import pytest
+
+from repro.ip import (
+    build_feol_view,
+    lift_critical_nets,
+    perturb_placement,
+    proximity_attack,
+    reconstruction_error_rate,
+)
+from repro.ip.split import high_fanout_nets
+from repro.netlist import ripple_carry_adder
+from repro.physical import annealing_placement
+
+
+def run_split_study():
+    design = ripple_carry_adder(8)
+    placement = annealing_placement(design, iterations=6000,
+                                    seed=2).placement
+    by_layer = []
+    for layer in (1, 2, 3):
+        view = build_feol_view(design, placement, split_layer=layer)
+        attack = proximity_attack(view, mode="via")
+        by_layer.append({
+            "layer": layer,
+            "hidden_pins": len(view.open_sinks),
+            "ccr": attack.ccr,
+            "error": reconstruction_error_rate(view, attack),
+        })
+    lifted_nets = lift_critical_nets(design,
+                                     high_fanout_nets(design, 25))
+    lifted_view = build_feol_view(design, placement, split_layer=1,
+                                  lifted=lifted_nets)
+    lifted_attack = proximity_attack(lifted_view, mode="via")
+    perturbed = perturb_placement(placement, amount=6, fraction=0.6,
+                                  seed=3)
+    m1_plain = proximity_attack(
+        build_feol_view(design, placement, split_layer=0), mode="cell")
+    m1_perturbed = proximity_attack(
+        build_feol_view(design, perturbed, split_layer=0), mode="cell")
+    return {
+        "by_layer": by_layer,
+        "lifted_ccr": lifted_attack.ccr,
+        "lifted_pins": len(lifted_view.open_sinks),
+        "lifted_error": reconstruction_error_rate(lifted_view,
+                                                  lifted_attack),
+        "m1_plain_ccr": m1_plain.ccr,
+        "m1_perturbed_ccr": m1_perturbed.ccr,
+    }
+
+
+def test_split_manufacturing(benchmark):
+    study = benchmark.pedantic(run_split_study, rounds=1, iterations=1)
+    print("\n=== split manufacturing: proximity attack vs defenses ===")
+    print(f"{'split layer':>11} {'hidden pins':>12} {'CCR':>6} "
+          f"{'reconstruction err':>19}")
+    for row in study["by_layer"]:
+        print(f"{row['layer']:>11} {row['hidden_pins']:>12} "
+              f"{row['ccr']:>6.2f} {row['error']:>19.2f}")
+    print(f"wire lifting at split=1: CCR {study['lifted_ccr']:.2f} "
+          f"over {study['lifted_pins']} pins "
+          f"(reconstruction error {study['lifted_error']:.2f})")
+    print(f"M1 split, cell-proximity attacker: CCR "
+          f"{study['m1_plain_ccr']:.2f} optimized placement -> "
+          f"{study['m1_perturbed_ccr']:.2f} after perturbation")
+    base = study["by_layer"][0]
+    # classical flow leaves exploitable hints
+    assert base["ccr"] > 0.6
+    # lifting collapses the attack
+    assert study["lifted_ccr"] < base["ccr"] - 0.2
+    # perturbation degrades the M1 attacker
+    assert study["m1_perturbed_ccr"] < study["m1_plain_ccr"]
+    # higher split layers hide fewer wires
+    pins = [row["hidden_pins"] for row in study["by_layer"]]
+    assert pins == sorted(pins, reverse=True)

@@ -1,0 +1,73 @@
+"""X6 — Sec. IV: security metrics behave as step functions of effort.
+
+The paper: "one can expect some security metrics to act more like step
+functions, where certain efforts must be spent to reach a security
+level, but spending more will not provide additional benefits. This is
+fundamentally different from classical metrics like area."
+
+Measured here on logic locking: area cost climbs smoothly with every
+key bit, while the *security level* (which attacker classes are priced
+out, derived from measured SAT-attack effort) moves only at thresholds.
+The DSE consequence is asserted too: every Pareto-optimal configuration
+sits exactly at a level boundary.
+"""
+
+import pytest
+
+from repro.core import (
+    locking_candidates,
+    pareto_front,
+    sat_attack_resistance_steps,
+    sweep_locking,
+)
+from repro.netlist import random_circuit
+
+KEY_WIDTHS = [0, 2, 4, 6, 8, 12, 16, 20]
+
+
+def run_step_study():
+    base = random_circuit(8, 80, 4, seed=7)
+    points = sweep_locking(base, KEY_WIDTHS, seed=3, max_iterations=400)
+    candidates = locking_candidates(points,
+                                    step_thresholds=(0, 2, 8))
+    front = pareto_front(candidates, maximize=["security_level"],
+                         minimize=["area"])
+    steps = sat_attack_resistance_steps()
+    return {"points": points, "candidates": candidates, "front": front,
+            "steps": steps}
+
+
+def test_step_function_metrics(benchmark):
+    study = benchmark.pedantic(run_step_study, rounds=1, iterations=1)
+    points = study["points"]
+    candidates = study["candidates"]
+    print("\n=== smooth cost vs stepped security (locking sweep) ===")
+    print(f"{'key bits':>8} {'area (smooth)':>14} "
+          f"{'attack DIPs':>12} {'security level (stepped)':>25}")
+    for point, cand in zip(points, candidates):
+        print(f"{point.key_bits:>8} {point.area:>14.1f} "
+              f"{point.sat_attack_iterations:>12} "
+              f"{cand.objectives['security_level']:>25.0f}")
+    print("Pareto-optimal configurations: "
+          + ", ".join(c.name for c in study["front"]))
+
+    areas = [p.area for p in points]
+    levels = [c.objectives["security_level"] for c in candidates]
+    # cost is strictly increasing: every key bit is paid for
+    assert all(b > a for a, b in zip(areas, areas[1:]))
+    # security level is a step function: non-decreasing with plateaus
+    assert all(b >= a for a, b in zip(levels, levels[1:]))
+    assert len(set(levels)) < len(levels)  # at least one flat segment
+    # the declared model agrees: no marginal gain inside a segment
+    steps = study["steps"]
+    assert steps.marginal_gain(9, 3) == 0
+    assert steps.marginal_gain(9, 10) == 1
+    # Pareto front members dominate their flat-segment neighbours:
+    # no front member can be strictly inside a plateau above another
+    # cheaper member of the same level.
+    by_level = {}
+    for cand in study["front"]:
+        level = cand.objectives["security_level"]
+        by_level.setdefault(level, []).append(cand.objectives["area"])
+    for level, costs in by_level.items():
+        assert len(costs) == 1  # one (cheapest) config per level

@@ -1,0 +1,122 @@
+"""X5 — Sec. III-C: TVLA methodology in practice [16].
+
+Characterizes the t-statistic's behaviour the way an EDA sign-off team
+must understand it:
+
+* on a leaky target, max|t| grows ~ sqrt(N) with trace count;
+* on a masked target, max|t| stays under the 4.5 threshold at first
+  order — but second-order TVLA (centered-squared traces) exposes the
+  remaining bivariate leakage;
+* measurement noise shifts the trace count needed, not the verdict.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import sbox_with_key_netlist
+from repro.netlist import encode_int
+from repro.sca import (
+    isw_and_netlist,
+    leakage_traces,
+    random_share_stimulus,
+    tvla,
+    tvla_sweep,
+)
+
+COUNTS = (250, 500, 1000, 2000, 4000)
+
+
+def leaky_traces(n, fixed, sigma, seed):
+    target = sbox_with_key_netlist()
+    rng = random.Random(seed)
+    stims = []
+    for _ in range(n):
+        pt = 0x3C if fixed else rng.randrange(256)
+        s = encode_int(pt, [f"p{i}" for i in range(8)])
+        s.update(encode_int(0x5A, [f"k{i}" for i in range(8)]))
+        stims.append(s)
+    return leakage_traces(target, stims, noise_sigma=sigma, seed=seed)
+
+
+def masked_traces(n, fixed, seed):
+    gadget = isw_and_netlist()
+    rng = random.Random(seed)
+    stims = []
+    for _ in range(n):
+        if fixed:
+            a, b = 1, 1
+        else:
+            a, b = rng.randint(0, 1), rng.randint(0, 1)
+        stims.append(random_share_stimulus(a, b, 3, rng))
+    return leakage_traces(gadget, stims, noise_sigma=0.25, seed=seed)
+
+
+def two_share_traces(n, fixed, seed):
+    """Canonical univariate 2nd-order target: a 2-share register.
+
+    Both shares (m, s^m) contribute to the same sample; the mean is
+    secret-independent but the *variance* is not — the textbook case
+    second-order TVLA exists for.
+    """
+    from repro.netlist import GateType, Netlist
+    register = Netlist("two_share_reg")
+    register.add_input("m")
+    register.add_input("x")           # x = s ^ m, computed upstream
+    register.add_gate("q0", GateType.BUF, ["m"])
+    register.add_gate("q1", GateType.BUF, ["x"])
+    register.add_output("q0")
+    register.add_output("q1")
+    rng = random.Random(seed)
+    stims = []
+    for _ in range(n):
+        secret = 1 if fixed else rng.randint(0, 1)
+        m = rng.randint(0, 1)
+        stims.append({"m": m, "x": secret ^ m})
+    return leakage_traces(register, stims, noise_sigma=0.25, seed=seed)
+
+
+def run_tvla_study():
+    n = max(COUNTS)
+    out = {}
+    for sigma in (1.0, 3.0):
+        sweep = tvla_sweep(leaky_traces(n, True, sigma, 1),
+                           leaky_traces(n, False, sigma, 2), COUNTS)
+        out[f"leaky_sigma{sigma}"] = list(sweep)
+    fixed = masked_traces(n, True, 3)
+    rand = masked_traces(n, False, 4)
+    out["masked_order1"] = list(tvla_sweep(fixed, rand, COUNTS, order=1))
+    fixed2 = two_share_traces(n, True, 5)
+    rand2 = two_share_traces(n, False, 6)
+    out["two_share_order1"] = tvla(fixed2, rand2, order=1).max_abs_t
+    out["two_share_order2"] = tvla(fixed2, rand2, order=2).max_abs_t
+    return out
+
+
+def test_tvla_practice(benchmark):
+    study = benchmark.pedantic(run_tvla_study, rounds=1, iterations=1)
+    print("\n=== TVLA in practice: max|t| vs trace count ===")
+    header = "".join(f"{c:>8}" for c in COUNTS)
+    print(f"{'target':<22}{header}")
+    for name in ("leaky_sigma1.0", "leaky_sigma3.0", "masked_order1"):
+        row = "".join(f"{v:>8.1f}" for v in study[name])
+        print(f"{name:<22}{row}")
+    print(f"2-share register at N={max(COUNTS)}: 1st-order max|t| = "
+          f"{study['two_share_order1']:.1f}, 2nd-order max|t| = "
+          f"{study['two_share_order2']:.1f}")
+
+    low_noise = study["leaky_sigma1.0"]
+    high_noise = study["leaky_sigma3.0"]
+    masked = study["masked_order1"]
+    # t grows with N on the leaky target (sqrt-N shape: 16x traces
+    # should give ~4x t; accept any clear monotone growth).
+    assert low_noise[-1] > 2 * low_noise[0]
+    assert low_noise[-1] > 4.5
+    # more noise -> smaller t at equal N, same final verdict
+    assert high_noise[-1] < low_noise[-1]
+    assert high_noise[-1] > 4.5
+    # masked designs pass first order at every N
+    assert all(t < 4.5 for t in masked)
+    assert study["two_share_order1"] < 4.5
+    # ...but second-order TVLA sees through 2-share masking
+    assert study["two_share_order2"] > 4.5

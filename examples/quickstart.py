@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's story in sixty lines.
+
+1. Build a masked (private-circuit) AND gadget — TVLA passes.
+2. Let a classical, security-unaware optimizer re-associate its XOR
+   trees for timing — function preserved, TVLA now fails (Fig. 2).
+3. Run the same design through the secure-composition engine, which
+   catches the break automatically (Sec. IV).
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import CompositionEngine, masked_and_design, \
+    timing_reassociation_step
+from repro.sca import (isw_and_netlist, leakage_traces,
+                       random_share_stimulus, tvla)
+from repro.synth import reassociate_for_timing
+
+
+def collect_traces(netlist, fixed_secrets, n_traces, seed):
+    """Simulated power traces for the fixed or random TVLA class."""
+    rng = random.Random(seed)
+    stimuli = []
+    for _ in range(n_traces):
+        if fixed_secrets:
+            a, b = 1, 1
+        else:
+            a, b = rng.randint(0, 1), rng.randint(0, 1)
+        stimuli.append(random_share_stimulus(a, b, 3, rng))
+    return leakage_traces(netlist, stimuli, noise_sigma=0.25, seed=seed)
+
+
+def main() -> None:
+    print("== 1. security-aware masked AND gadget ==")
+    gadget = isw_and_netlist()
+    result = tvla(collect_traces(gadget, True, 4000, 1),
+                  collect_traces(gadget, False, 4000, 2))
+    print(f"   TVLA max|t| = {result.max_abs_t:.2f}  "
+          f"(threshold {result.threshold})  leaks: {result.leaks}")
+
+    print("== 2. after security-unaware timing optimization (Fig. 2) ==")
+    optimized = gadget.copy()
+    late_rng = {f"r_{i}_{j}": 1e5 for i in range(3)
+                for j in range(i + 1, 3)}
+    rebuilt = reassociate_for_timing(optimized, input_arrivals=late_rng)
+    result2 = tvla(collect_traces(optimized, True, 4000, 3),
+                   collect_traces(optimized, False, 4000, 4))
+    print(f"   {rebuilt} XOR trees re-associated; function unchanged")
+    print(f"   TVLA max|t| = {result2.max_abs_t:.2f}  "
+          f"leaks: {result2.leaks}   <-- masking destroyed")
+
+    print("== 3. the secure-composition engine catches it ==")
+    engine = CompositionEngine(n_traces=4000, seed=5)
+    _, report = engine.compose(masked_and_design(),
+                               [timing_reassociation_step()])
+    for effect in report.harmful_effects:
+        print(f"   FLAGGED: {effect.countermeasure} degraded "
+              f"{effect.metric}: {effect.before:.2f} -> "
+              f"{effect.after:.2f} ({effect.note})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Core contribution: the secure-composition EDA framework.
+
+Threat models (Table I), the classical flow (Fig. 1), an executable
+Table II, security metrics with step-function semantics (Sec. IV), the
+composition engine with cross-effect detection (Sec. IV, ref [61]), the
+security-centric flow with its re-verification loop, and security-aware
+design-space exploration.
+"""
+
+from .threats import (
+    AttackTime,
+    EdaRole,
+    END_USER_ADVERSARY,
+    FIA_ADVERSARY,
+    FOUNDRY_ADVERSARY,
+    POWER_SCA_ADVERSARY,
+    THREAT_CATALOG,
+    ThreatModel,
+    ThreatVector,
+    TROJAN_ADVERSARY,
+)
+from .stages import (
+    ClassicalFlow,
+    ClassicalFlowResult,
+    DesignStage,
+    FlowReport,
+    StageRecord,
+)
+from .metrics import (
+    Direction,
+    MetricRegistry,
+    MetricResult,
+    SecurityMetric,
+    StepFunctionMetric,
+    masking_order_steps,
+    sat_attack_resistance_steps,
+)
+from .composition import (
+    CompositionEngine,
+    CompositionReport,
+    Countermeasure,
+    CrossEffect,
+    Design,
+    EvaluationSnapshot,
+)
+from .designs import (
+    duplication_countermeasure,
+    masked_and_design,
+    parity_countermeasure,
+    timing_reassociation_step,
+    wddl_countermeasure,
+)
+from .flow import (
+    CheckResult,
+    SecureFlow,
+    SecureFlowResult,
+    SecurityRequirement,
+    no_leaky_net_requirement,
+    tvla_requirement,
+)
+from .dse import (
+    Candidate,
+    LockingSweepPoint,
+    dominates,
+    locking_candidates,
+    pareto_front,
+    sweep_locking,
+)
+from .table2 import (
+    CellResult,
+    all_demos,
+    render_table,
+    run_all,
+    run_cell,
+)
+from .constraints import (
+    CompilationReport,
+    DetectionConstraint,
+    LeakageConstraint,
+    MaskingConstraint,
+    NoFlowConstraint,
+    Obligation,
+    SecurityConstraint,
+    compile_and_check,
+)
+from .risk import (
+    MODEL_LIMITS,
+    RiskEntry,
+    RiskRegister,
+    Severity,
+    register_from_composition,
+)
+from .report import TableIRow, render_table_i, table_i
+
+__all__ = [
+    "AttackTime", "EdaRole", "END_USER_ADVERSARY", "FIA_ADVERSARY",
+    "FOUNDRY_ADVERSARY", "POWER_SCA_ADVERSARY", "THREAT_CATALOG",
+    "ThreatModel", "ThreatVector", "TROJAN_ADVERSARY",
+    "ClassicalFlow", "ClassicalFlowResult", "DesignStage", "FlowReport",
+    "StageRecord",
+    "Direction", "MetricRegistry", "MetricResult", "SecurityMetric",
+    "StepFunctionMetric", "masking_order_steps",
+    "sat_attack_resistance_steps",
+    "CompositionEngine", "CompositionReport", "Countermeasure",
+    "CrossEffect", "Design", "EvaluationSnapshot",
+    "duplication_countermeasure", "masked_and_design",
+    "parity_countermeasure", "timing_reassociation_step",
+    "wddl_countermeasure",
+    "CheckResult", "SecureFlow", "SecureFlowResult", "SecurityRequirement",
+    "no_leaky_net_requirement", "tvla_requirement",
+    "Candidate", "LockingSweepPoint", "dominates", "locking_candidates",
+    "pareto_front", "sweep_locking",
+    "CellResult", "all_demos", "render_table", "run_all", "run_cell",
+    "CompilationReport", "DetectionConstraint", "LeakageConstraint",
+    "MaskingConstraint", "NoFlowConstraint", "Obligation",
+    "SecurityConstraint", "compile_and_check",
+    "MODEL_LIMITS", "RiskEntry", "RiskRegister", "Severity",
+    "register_from_composition",
+    "TableIRow", "render_table_i", "table_i",
+]

@@ -1,0 +1,271 @@
+"""The secure-composition engine (paper Sec. IV).
+
+    "not all types or implementations of countermeasures are
+    composable, e.g., adding error-detecting logic can deteriorate
+    resilience against SCAs [61]. Thus, tools for joint compilation of
+    countermeasures and, even more importantly, for verifying their
+    effectiveness are required."
+
+:class:`CompositionEngine` is that tool: it holds a :class:`Design`
+(netlist + security interface), applies countermeasures through
+:class:`Countermeasure` adapters, and — after *every* application —
+re-evaluates the metrics of **all** threat vectors, flagging negative
+cross-effects.  The flagship instance this engine catches: wrapping an
+ISW-masked gadget with parity-based error detection physically computes
+the XOR of the shares — the unmasked secret — on a wire, and TVLA
+lights up (ref [61] made executable).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fia import Fault, FaultKind, fault_campaign
+from ..netlist import Netlist, ppa_report
+from ..sca import TVLA_THRESHOLD, leakage_traces, locate_leaking_nets, tvla
+from .threats import ThreatVector
+
+#: A stimulus transformer: adapts base-circuit stimuli to the current
+#: (possibly wrapped/transformed) netlist's input names.
+StimulusAdapter = Callable[[Dict[str, int]], Dict[str, int]]
+
+
+@dataclass
+class Design:
+    """A netlist plus its security evaluation interface.
+
+    ``tvla_fixed`` / ``tvla_random`` generate single-bit stimulus dicts
+    for the *original* primary inputs; ``stimulus_adapter`` rewrites
+    them for the current netlist (identity until a transform like WDDL
+    renames ports).  ``protected_region_prefix`` marks which gates the
+    FIA campaign faults (the functional core, not the checker).
+    """
+
+    name: str
+    netlist: Netlist
+    tvla_fixed: Callable[[random.Random], Dict[str, int]]
+    tvla_random: Callable[[random.Random], Dict[str, int]]
+    #: Rewrites base-circuit stimuli for the current netlist's ports.
+    stimulus_adapter: StimulusAdapter = staticmethod(lambda s: s)
+    alarm: Optional[str] = None
+    payload_outputs: Optional[List[str]] = None
+    protected_region_prefix: str = ""
+    key_bits: int = 0
+    applied: List[str] = field(default_factory=list)
+
+    def fault_sites(self, kinds=(FaultKind.STUCK_AT_0,
+                                 FaultKind.STUCK_AT_1)) -> List[Fault]:
+        """Single-fault list over the protected functional region."""
+        sites = []
+        for g in self.netlist.gates.values():
+            if not g.gate_type.is_combinational or g.gate_type.is_source:
+                continue
+            if (self.protected_region_prefix
+                    and not g.name.startswith(self.protected_region_prefix)):
+                continue
+            for kind in kinds:
+                sites.append(Fault(g.name, kind))
+        return sites
+
+    def make_stimuli(self, n: int, fixed: bool,
+                     seed: int) -> List[Dict[str, int]]:
+        """Generate adapted TVLA-class stimuli for the current netlist."""
+        rng = random.Random(seed)
+        generator = self.tvla_fixed if fixed else self.tvla_random
+        return [self.stimulus_adapter(generator(rng)) for _ in range(n)]
+
+
+@dataclass
+class Countermeasure:
+    """An adapter turning a substrate transform into a composable pass."""
+
+    name: str
+    threat: ThreatVector
+    apply: Callable[[Design], Design]
+    description: str = ""
+
+
+@dataclass
+class EvaluationSnapshot:
+    """All-threat metric values for one design state."""
+
+    tvla_max_t: float
+    leaky_nets: int
+    fia_coverage: float
+    fia_silent: int
+    area: float
+    delay: float
+    key_bits: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view for tabular reports."""
+        return {
+            "tvla_max_t": self.tvla_max_t,
+            "leaky_nets": float(self.leaky_nets),
+            "fia_coverage": self.fia_coverage,
+            "fia_silent": float(self.fia_silent),
+            "area": self.area,
+            "delay": self.delay,
+            "key_bits": float(self.key_bits),
+        }
+
+
+@dataclass
+class CrossEffect:
+    """One detected interaction of a countermeasure with a metric."""
+
+    countermeasure: str
+    metric: str
+    before: float
+    after: float
+    harmful: bool
+    note: str = ""
+
+
+@dataclass
+class CompositionReport:
+    """Audit trail of one composition session."""
+
+    steps: List[Tuple[str, EvaluationSnapshot]] = field(default_factory=list)
+    cross_effects: List[CrossEffect] = field(default_factory=list)
+
+    @property
+    def harmful_effects(self) -> List[CrossEffect]:
+        return [e for e in self.cross_effects if e.harmful]
+
+    def render(self) -> str:
+        """Human-readable audit table with cross-effect flags."""
+        lines = ["=== composition audit ==="]
+        header = f"{'step':<28}" + "".join(
+            f"{k:>12}" for k in self.steps[0][1].as_dict()) if self.steps \
+            else "(empty)"
+        lines.append(header)
+        for name, snap in self.steps:
+            lines.append(f"{name:<28}" + "".join(
+                f"{v:>12.2f}" for v in snap.as_dict().values()))
+        for effect in self.cross_effects:
+            marker = "!! " if effect.harmful else "   "
+            lines.append(
+                f"{marker}{effect.countermeasure} -> {effect.metric}: "
+                f"{effect.before:.2f} -> {effect.after:.2f}  {effect.note}"
+            )
+        return "\n".join(lines)
+
+
+class CompositionEngine:
+    """Apply countermeasures one at a time; re-verify everything.
+
+    ``n_traces`` / ``n_fault_vectors`` bound the evaluation effort.
+    """
+
+    def __init__(self, n_traces: int = 4000,
+                 noise_sigma: float = 0.25,
+                 n_fault_vectors: int = 64,
+                 tvla_threshold: float = TVLA_THRESHOLD,
+                 seed: int = 0) -> None:
+        self.n_traces = n_traces
+        self.noise_sigma = noise_sigma
+        self.n_fault_vectors = n_fault_vectors
+        self.tvla_threshold = tvla_threshold
+        self.seed = seed
+
+    # -- individual evaluations -----------------------------------------
+
+    def evaluate_sca(self, design: Design,
+                     seed_offset: int = 0) -> Tuple[float, int]:
+        """(max |t|, count of individually leaking nets)."""
+        fixed = design.make_stimuli(self.n_traces, True,
+                                    self.seed + seed_offset)
+        rand = design.make_stimuli(self.n_traces, False,
+                                   self.seed + seed_offset + 1)
+        fixed_traces = leakage_traces(design.netlist, fixed,
+                                      noise_sigma=self.noise_sigma,
+                                      seed=self.seed + seed_offset)
+        rand_traces = leakage_traces(design.netlist, rand,
+                                     noise_sigma=self.noise_sigma,
+                                     seed=self.seed + seed_offset + 1)
+        result = tvla(fixed_traces, rand_traces)
+        per_net = locate_leaking_nets(design.netlist, fixed, rand,
+                                      seed=self.seed)
+        leaky = sum(1 for entry in per_net
+                    if abs(entry.t_statistic) > self.tvla_threshold)
+        return result.max_abs_t, leaky
+
+    def evaluate_fia(self, design: Design) -> Tuple[float, int]:
+        """(detection coverage, silent corruptions) over the region."""
+        faults = design.fault_sites()
+        if not faults:
+            return 1.0, 0
+        report = fault_campaign(
+            design.netlist, faults, n_vectors=self.n_fault_vectors,
+            alarm=design.alarm, payload_outputs=design.payload_outputs,
+            seed=self.seed)
+        return report.coverage, report.silent
+
+    def evaluate(self, design: Design,
+                 seed_offset: int = 0) -> EvaluationSnapshot:
+        """All-threat snapshot: SCA, FIA, and PPA in one record."""
+        max_t, leaky = self.evaluate_sca(design, seed_offset)
+        coverage, silent = self.evaluate_fia(design)
+        ppa = ppa_report(design.netlist)
+        return EvaluationSnapshot(
+            tvla_max_t=max_t,
+            leaky_nets=leaky,
+            fia_coverage=coverage,
+            fia_silent=silent,
+            area=ppa.area,
+            delay=ppa.delay,
+            key_bits=design.key_bits,
+        )
+
+    # -- composition loop -------------------------------------------------
+
+    def compose(self, design: Design,
+                countermeasures: Sequence[Countermeasure]
+                ) -> Tuple[Design, CompositionReport]:
+        """Apply each countermeasure, re-verifying all threats after each.
+
+        Harmful cross-effects are flagged when a countermeasure for one
+        threat makes another threat's metric materially worse:
+        TVLA flipping from pass to fail, FIA coverage dropping, or new
+        individually-leaking nets appearing.
+        """
+        report = CompositionReport()
+        snapshot = self.evaluate(design)
+        report.steps.append(("baseline", snapshot))
+        current = design
+        for index, cm in enumerate(countermeasures, start=1):
+            current = cm.apply(current)
+            current.applied.append(cm.name)
+            new_snapshot = self.evaluate(current, seed_offset=10 * index)
+            report.steps.append((cm.name, new_snapshot))
+            self._diff(report, cm, snapshot, new_snapshot)
+            snapshot = new_snapshot
+        return current, report
+
+    def _diff(self, report: CompositionReport, cm: Countermeasure,
+              before: EvaluationSnapshot,
+              after: EvaluationSnapshot) -> None:
+        tvla_flipped = (before.tvla_max_t <= self.tvla_threshold
+                        < after.tvla_max_t)
+        report.cross_effects.append(CrossEffect(
+            cm.name, "tvla_max_t", before.tvla_max_t, after.tvla_max_t,
+            harmful=tvla_flipped,
+            note="masking broken by composition" if tvla_flipped else "",
+        ))
+        if after.leaky_nets > before.leaky_nets:
+            report.cross_effects.append(CrossEffect(
+                cm.name, "leaky_nets", before.leaky_nets,
+                after.leaky_nets, harmful=True,
+                note="new first-order-leaking wires introduced",
+            ))
+        if after.fia_coverage < before.fia_coverage - 1e-9:
+            report.cross_effects.append(CrossEffect(
+                cm.name, "fia_coverage", before.fia_coverage,
+                after.fia_coverage, harmful=True,
+                note="fault-detection coverage regressed",
+            ))

@@ -1,0 +1,199 @@
+"""Security-constraint compilation — system level down to bare metal.
+
+The paper's second key challenge (Sec. II-C): "effective means for
+compilation of assumptions and constraints for security schemes, all
+the way from the system level down to the bare metal."  This module is
+that compiler for the constraint kinds this framework can discharge:
+
+* ``NoFlowConstraint``   — non-interference between named ports,
+  discharged by a SAT proof over the *final netlist* (GLIFT-style
+  two-copy encoding);
+* ``LeakageConstraint``  — TVLA bound, discharged by trace simulation
+  on the final netlist;
+* ``MaskingConstraint``  — a region must be share-encoded with fresh
+  randomness, discharged structurally + by per-net leakage tests;
+* ``DetectionConstraint``— FIA coverage floor, discharged by a fault
+  campaign against the design's alarm.
+
+A constraint is written once against the *specification* (port names of
+the original design) and keeps meaning through transforms: the compiler
+resolves names through the design's share/renaming maps before
+checking, which is exactly the "compilation" the paper asks for —
+intent stated at the top, obligations discharged at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..fia import fault_campaign
+from ..sca import TVLA_THRESHOLD, leakage_traces, locate_leaking_nets, tvla
+from .composition import Design
+from .threats import ThreatVector
+
+
+@dataclass
+class Obligation:
+    """One discharged (or violated) proof obligation."""
+
+    constraint: str
+    satisfied: bool
+    evidence: str
+
+
+class SecurityConstraint:
+    """Base class: subclasses implement :meth:`discharge`."""
+
+    name = "constraint"
+    threat = ThreatVector.SIDE_CHANNEL
+
+    def discharge(self, design: Design) -> Obligation:
+        """Check the constraint against a design; returns the obligation."""
+        raise NotImplementedError
+
+
+@dataclass
+class NoFlowConstraint(SecurityConstraint):
+    """``source`` (a primary input) must not influence ``target``
+    (a primary output) when the environment pins ``when`` values."""
+
+    source: str
+    target: str
+    when: Dict[str, int] = field(default_factory=dict)
+    name: str = "no-flow"
+    threat: ThreatVector = ThreatVector.SIDE_CHANNEL
+
+    def discharge(self, design: Design) -> Obligation:
+        """Prove non-interference by the two-copy SAT encoding."""
+        from ..formal.glift import prove_no_flow
+
+        result = prove_no_flow(design.netlist, self.source, self.target,
+                               fixed=self.when)
+        label = (f"{self.name}: {self.source} -/-> {self.target}"
+                 + (f" when {self.when}" if self.when else ""))
+        if result.isolated:
+            return Obligation(label, True,
+                              "SAT-proved non-interference")
+        return Obligation(label, False,
+                          f"flow witness found: {result.witness}")
+
+
+@dataclass
+class LeakageConstraint(SecurityConstraint):
+    """First-order TVLA must stay below ``max_t``."""
+
+    max_t: float = TVLA_THRESHOLD
+    n_traces: int = 3000
+    noise_sigma: float = 0.25
+    seed: int = 0
+    name: str = "tvla-bound"
+    threat: ThreatVector = ThreatVector.SIDE_CHANNEL
+
+    def discharge(self, design: Design) -> Obligation:
+        """Measure fixed-vs-random TVLA against the bound."""
+        fixed = design.make_stimuli(self.n_traces, True, self.seed)
+        rand = design.make_stimuli(self.n_traces, False, self.seed + 1)
+        result = tvla(
+            leakage_traces(design.netlist, fixed,
+                           noise_sigma=self.noise_sigma, seed=self.seed),
+            leakage_traces(design.netlist, rand,
+                           noise_sigma=self.noise_sigma,
+                           seed=self.seed + 1))
+        return Obligation(
+            f"{self.name}: max|t| <= {self.max_t}",
+            result.max_abs_t <= self.max_t,
+            f"measured max|t| = {result.max_abs_t:.2f} at "
+            f"{self.n_traces} traces/class")
+
+
+@dataclass
+class MaskingConstraint(SecurityConstraint):
+    """No individual wire may leak (per-net |t| below ``max_t``) —
+    the observable definition of intact share encoding."""
+
+    max_t: float = TVLA_THRESHOLD
+    n_traces: int = 2500
+    seed: int = 0
+    name: str = "masking-intact"
+    threat: ThreatVector = ThreatVector.SIDE_CHANNEL
+
+    def discharge(self, design: Design) -> Obligation:
+        """Check every individual wire's fixed-vs-random balance."""
+        fixed = design.make_stimuli(self.n_traces, True, self.seed + 2)
+        rand = design.make_stimuli(self.n_traces, False, self.seed + 3)
+        entries = locate_leaking_nets(design.netlist, fixed, rand,
+                                      seed=self.seed)
+        leaky = [e for e in entries if abs(e.t_statistic) > self.max_t]
+        if not leaky:
+            return Obligation(
+                f"{self.name}: every wire balanced", True,
+                f"worst per-net |t| = "
+                f"{abs(entries[0].t_statistic):.2f}" if entries else
+                "no nets")
+        return Obligation(
+            f"{self.name}: every wire balanced", False,
+            f"{len(leaky)} unmasked wires, worst {leaky[0].net} "
+            f"|t| = {abs(leaky[0].t_statistic):.1f}")
+
+
+@dataclass
+class DetectionConstraint(SecurityConstraint):
+    """Fault-detection coverage over the protected region must reach
+    ``min_coverage`` with zero silent corruptions."""
+
+    min_coverage: float = 0.99
+    n_vectors: int = 64
+    seed: int = 0
+    name: str = "fault-detection"
+    threat: ThreatVector = ThreatVector.FAULT_INJECTION
+
+    def discharge(self, design: Design) -> Obligation:
+        """Run the fault campaign against the coverage floor."""
+        faults = design.fault_sites()
+        if design.alarm is None:
+            return Obligation(
+                f"{self.name}: coverage >= {self.min_coverage}", False,
+                "design has no alarm output")
+        report = fault_campaign(
+            design.netlist, faults, n_vectors=self.n_vectors,
+            alarm=design.alarm, payload_outputs=design.payload_outputs,
+            seed=self.seed)
+        ok = (report.coverage >= self.min_coverage
+              and report.silent == 0)
+        return Obligation(
+            f"{self.name}: coverage >= {self.min_coverage}", ok,
+            report.summary())
+
+
+@dataclass
+class CompilationReport:
+    """All obligations of one constraint set against one design."""
+
+    design_name: str
+    obligations: List[Obligation] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return all(o.satisfied for o in self.obligations)
+
+    def render(self) -> str:
+        """Human-readable obligation list with the signoff verdict."""
+        lines = [f"=== constraint compilation: {self.design_name} ==="]
+        for o in self.obligations:
+            status = "SATISFIED" if o.satisfied else "VIOLATED "
+            lines.append(f"  [{status}] {o.constraint}")
+            lines.append(f"             {o.evidence}")
+        verdict = "signoff clean" if self.satisfied else "signoff BLOCKED"
+        lines.append(f">>> {verdict}")
+        return "\n".join(lines)
+
+
+def compile_and_check(design: Design,
+                      constraints: Sequence[SecurityConstraint]
+                      ) -> CompilationReport:
+    """Discharge every constraint against the design's current netlist."""
+    report = CompilationReport(design.name)
+    for constraint in constraints:
+        report.obligations.append(constraint.discharge(design))
+    return report

@@ -1,0 +1,163 @@
+"""Ready-made designs and countermeasure adapters for composition studies.
+
+The flagship experiment (paper Sec. IV, ref [61]): start from a
+first-order masked AND gadget, then add fault detection two ways —
+
+* **duplication with comparison** compares share against share; every
+  comparator wire stays masked — the composition is *safe*;
+* **parity prediction** XORs the three output shares together, which is
+  the definition of unmasking (``c0 ^ c1 ^ c2 = a & b``) — the checker
+  itself becomes the side channel, and the composition engine flags it.
+
+A third adapter exposes the Fig. 2 offender (timing re-association) as
+a pseudo-countermeasure so flows can audit *optimizations* with the
+same machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict
+
+from ..fia import duplicate_and_compare, parity_protect
+from ..sca import (
+    dual_rail_stimulus,
+    isw_and_netlist,
+    random_share_stimulus,
+    wddl_transform,
+)
+from ..synth import reassociate_for_timing
+from .composition import Countermeasure, Design
+from .threats import ThreatVector
+
+
+def masked_and_design(n_shares: int = 3) -> Design:
+    """First-order masked AND gadget as a composition-study baseline.
+
+    TVLA classes: fixed secrets (a=1, b=1) vs random secrets, with
+    shares and gadget randomness fresh per trace either way.
+    """
+    netlist = isw_and_netlist(n_shares)
+
+    def fixed(rng: random.Random) -> Dict[str, int]:
+        return random_share_stimulus(1, 1, n_shares, rng)
+
+    def rand(rng: random.Random) -> Dict[str, int]:
+        return random_share_stimulus(
+            rng.randint(0, 1), rng.randint(0, 1), n_shares, rng)
+
+    return Design(
+        name="masked-and",
+        netlist=netlist,
+        tvla_fixed=fixed,
+        tvla_random=rand,
+        payload_outputs=[f"c{i}" for i in range(n_shares)],
+    )
+
+
+def duplication_countermeasure() -> Countermeasure:
+    """Duplicate-and-compare fault detection (composes safely)."""
+
+    def apply(design: Design) -> Design:
+        protected = duplicate_and_compare(design.netlist)
+        return replace(
+            design,
+            name=design.name + "+dup",
+            netlist=protected.netlist,
+            alarm=protected.alarm,
+            payload_outputs=protected.payload_outputs,
+            protected_region_prefix="m_",
+            applied=list(design.applied),
+        )
+
+    return Countermeasure(
+        name="duplication-detect",
+        threat=ThreatVector.FAULT_INJECTION,
+        apply=apply,
+        description="two copies + per-output comparison; share-wise, "
+                    "so masking survives",
+    )
+
+
+def parity_countermeasure() -> Countermeasure:
+    """Parity-prediction fault detection (breaks masking — ref [61])."""
+
+    def apply(design: Design) -> Design:
+        protected = parity_protect(design.netlist)
+        return replace(
+            design,
+            name=design.name + "+parity",
+            netlist=protected.netlist,
+            alarm=protected.alarm,
+            payload_outputs=protected.payload_outputs,
+            protected_region_prefix="m_",
+            applied=list(design.applied),
+        )
+
+    return Countermeasure(
+        name="parity-detect",
+        threat=ThreatVector.FAULT_INJECTION,
+        apply=apply,
+        description="output-parity prediction; XOR of the shares is the "
+                    "unmasked secret",
+    )
+
+
+def timing_reassociation_step(rng_arrival: float = 1e5) -> Countermeasure:
+    """The Fig. 2 optimizer audited as if it were a countermeasure.
+
+    Models a security-oblivious PPA pass running *after* masking was
+    integrated: XOR trees are rebuilt for timing with the RNG inputs
+    arriving late, exposing sums of share products on real wires.
+    """
+
+    def apply(design: Design) -> Design:
+        netlist = design.netlist.copy(design.netlist.name + "_ra")
+        late = {
+            name: rng_arrival for name in netlist.inputs
+            if name.startswith("r_")
+        }
+        reassociate_for_timing(netlist, input_arrivals=late)
+        return replace(
+            design,
+            name=design.name + "+reassoc",
+            netlist=netlist,
+            applied=list(design.applied),
+        )
+
+    return Countermeasure(
+        name="timing-reassociation",
+        threat=ThreatVector.SIDE_CHANNEL,  # the threat it *affects*
+        apply=apply,
+        description="security-unaware XOR re-association (Fig. 2)",
+    )
+
+
+def wddl_countermeasure() -> Countermeasure:
+    """WDDL dual-rail hiding as a composable SCA countermeasure."""
+
+    def apply(design: Design) -> Design:
+        dual, rails = wddl_transform(design.netlist)
+        previous_adapter = design.stimulus_adapter
+
+        def adapter(stimulus: Dict[str, int]) -> Dict[str, int]:
+            return dual_rail_stimulus(previous_adapter(stimulus))
+
+        return replace(
+            design,
+            name=design.name + "+wddl",
+            netlist=dual,
+            stimulus_adapter=adapter,
+            alarm=None,
+            payload_outputs=list(dual.outputs),
+            protected_region_prefix="",
+            applied=list(design.applied),
+        )
+
+    return Countermeasure(
+        name="wddl-hiding",
+        threat=ThreatVector.SIDE_CHANNEL,
+        apply=apply,
+        description="dual-rail constant-weight logic style",
+    )

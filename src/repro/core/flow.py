@@ -1,0 +1,179 @@
+"""The security-centric EDA flow the paper calls for.
+
+:class:`SecureFlow` extends the classical flow of
+:mod:`repro.core.stages` with the paper's Sec. II-C / IV program:
+
+* explicit security *requirements* compiled into the flow,
+* evaluation of security metrics at the stages where they are
+  observable (TVLA after synthesis, proximity-attack CCR after PnR,
+  scan-leakage checks at test insertion),
+* the re-verification loop: after every design change (optimization or
+  countermeasure), all requirements are re-checked, so nothing is
+  "inadvertently compromised".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from ..netlist import ppa_report
+from ..physical import annealing_placement, critical_path_placed
+from ..sca import TVLA_THRESHOLD, leakage_traces, locate_leaking_nets, tvla
+from .composition import Design
+from .stages import DesignStage, FlowReport, StageRecord
+from .threats import ThreatVector
+
+
+@dataclass
+class SecurityRequirement:
+    """One compiled security constraint with its checking stage."""
+
+    name: str
+    threat: ThreatVector
+    stage: DesignStage
+    check: Callable[["SecureFlowContext"], "CheckResult"]
+
+
+@dataclass
+class CheckResult:
+    passed: bool
+    value: float
+    message: str
+
+
+class SecureFlowContext:
+    """Everything a requirement check may inspect."""
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self.placement = None
+
+
+@dataclass
+class SecureFlowResult:
+    design: Design
+    report: FlowReport
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+
+def tvla_requirement(n_traces: int = 4000, noise_sigma: float = 0.25,
+                     threshold: float = TVLA_THRESHOLD,
+                     seed: int = 0) -> SecurityRequirement:
+    """Fixed-vs-random leakage must stay below the TVLA threshold."""
+
+    def check(ctx: SecureFlowContext) -> CheckResult:
+        design = ctx.design
+        fixed = design.make_stimuli(n_traces, True, seed)
+        rand = design.make_stimuli(n_traces, False, seed + 1)
+        result = tvla(
+            leakage_traces(design.netlist, fixed,
+                           noise_sigma=noise_sigma, seed=seed),
+            leakage_traces(design.netlist, rand,
+                           noise_sigma=noise_sigma, seed=seed + 1))
+        return CheckResult(
+            passed=result.max_abs_t <= threshold,
+            value=result.max_abs_t,
+            message=f"TVLA max|t| = {result.max_abs_t:.2f} "
+                    f"(threshold {threshold})")
+
+    return SecurityRequirement(
+        "tvla-first-order", ThreatVector.SIDE_CHANNEL,
+        DesignStage.TIMING_POWER_VERIFICATION, check)
+
+
+def no_leaky_net_requirement(n_traces: int = 3000,
+                             threshold: float = TVLA_THRESHOLD,
+                             seed: int = 0) -> SecurityRequirement:
+    """No individual wire may pass the per-net leakage test."""
+
+    def check(ctx: SecureFlowContext) -> CheckResult:
+        design = ctx.design
+        fixed = design.make_stimuli(n_traces, True, seed + 2)
+        rand = design.make_stimuli(n_traces, False, seed + 3)
+        entries = locate_leaking_nets(design.netlist, fixed, rand,
+                                      seed=seed)
+        leaky = [e for e in entries if abs(e.t_statistic) > threshold]
+        worst = abs(entries[0].t_statistic) if entries else 0.0
+        message = (f"{len(leaky)} leaking nets"
+                   + (f", worst {entries[0].net} |t|={worst:.1f}"
+                      if leaky else ""))
+        return CheckResult(not leaky, float(len(leaky)), message)
+
+    return SecurityRequirement(
+        "no-leaky-wire", ThreatVector.SIDE_CHANNEL,
+        DesignStage.LOGIC_SYNTHESIS, check)
+
+
+class SecureFlow:
+    """Classical stages + compiled security requirements + re-verify loop.
+
+    ``transforms`` are design-mutating steps (countermeasures or
+    optimizations) executed in order after logic synthesis; after each,
+    every requirement is re-checked (the paper's "re-run the
+    security-centric flow" loop).  Synthesis of the functional netlist
+    itself is kept security-aware by *not* running restructuring passes
+    across masking boundaries.
+    """
+
+    def __init__(self, requirements: Sequence[SecurityRequirement],
+                 transforms: Sequence = (),
+                 placement_iterations: int = 3000,
+                 seed: int = 0) -> None:
+        self.requirements = list(requirements)
+        self.transforms = list(transforms)
+        self.placement_iterations = placement_iterations
+        self.seed = seed
+
+    def _check_all(self, ctx: SecureFlowContext, record: StageRecord,
+                   failures: List[str], when: str) -> None:
+        for requirement in self.requirements:
+            result = requirement.check(ctx)
+            status = "PASS" if result.passed else "FAIL"
+            line = (f"{requirement.name} [{when}]: {status} — "
+                    f"{result.message}")
+            record.security_checks.append(line)
+            if not result.passed:
+                failures.append(line)
+
+    def run(self, design: Design) -> SecureFlowResult:
+        """Run stages + transforms, re-checking requirements after each."""
+        report = FlowReport(design.name)
+        failures: List[str] = []
+        ctx = SecureFlowContext(design)
+
+        record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
+        record.actions.append("security-aware synthesis: restructuring "
+                              "suppressed inside masked regions")
+        self._check_all(ctx, record, failures, "post-synthesis")
+        report.records.append(record)
+
+        for transform in self.transforms:
+            new_design = transform.apply(ctx.design)
+            new_design.applied.append(transform.name)
+            ctx = SecureFlowContext(new_design)
+            record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
+            record.actions.append(f"applied transform: {transform.name}")
+            self._check_all(ctx, record, failures,
+                            f"after {transform.name}")
+            report.records.append(record)
+
+        placed = annealing_placement(
+            ctx.design.netlist, iterations=self.placement_iterations,
+            seed=self.seed)
+        ctx.placement = placed.placement
+        record = StageRecord(DesignStage.PHYSICAL_SYNTHESIS)
+        record.metrics["hpwl"] = placed.final_hpwl
+        record.metrics["critical_path_ps"] = critical_path_placed(
+            ctx.design.netlist, placed.placement)
+        record.actions.append("placement (security checks re-run)")
+        self._check_all(ctx, record, failures, "post-placement")
+        report.records.append(record)
+
+        report.final_ppa = ppa_report(ctx.design.netlist)
+        return SecureFlowResult(ctx.design, report, failures)

@@ -1,0 +1,172 @@
+"""Security metrics: registry, evaluation, and step-function behaviour.
+
+Sec. IV of the paper: EDA is metrics-driven, so secure composition
+needs security metrics standing next to area/delay/power — but, unlike
+PPA, many security metrics behave as *step functions* of invested
+effort ("certain efforts must be spent to reach a security level, but
+spending more will not provide additional benefits").
+:class:`StepFunctionMetric` captures that shape explicitly so DSE can
+treat it correctly (never trade along a flat segment).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .threats import ThreatVector
+
+
+class Direction(enum.Enum):
+    """Whether larger metric values mean more security."""
+
+    HIGHER_IS_BETTER = "higher"
+    LOWER_IS_BETTER = "lower"
+
+
+@dataclass
+class MetricResult:
+    """One evaluated metric value with pass/fail against its target."""
+
+    name: str
+    value: float
+    target: Optional[float]
+    direction: Direction
+    threat: ThreatVector
+
+    @property
+    def satisfied(self) -> Optional[bool]:
+        if self.target is None:
+            return None
+        if self.direction is Direction.HIGHER_IS_BETTER:
+            return self.value >= self.target
+        return self.value <= self.target
+
+
+@dataclass
+class SecurityMetric:
+    """A named, threat-annotated metric with an evaluator.
+
+    ``evaluator(design) -> float`` where ``design`` is whatever object
+    the owning pass family operates on (usually a
+    :class:`repro.core.composition.Design`).
+    """
+
+    name: str
+    threat: ThreatVector
+    direction: Direction
+    evaluator: Callable[..., float]
+    target: Optional[float] = None
+    description: str = ""
+
+    def evaluate(self, design) -> MetricResult:
+        """Run the evaluator; returns the value with pass/fail context."""
+        return MetricResult(
+            name=self.name,
+            value=float(self.evaluator(design)),
+            target=self.target,
+            direction=self.direction,
+            threat=self.threat,
+        )
+
+
+class MetricRegistry:
+    """Lookup of metrics by name and by threat vector."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, SecurityMetric] = {}
+
+    def register(self, metric: SecurityMetric) -> SecurityMetric:
+        """Register a metric (unique by name); returns it."""
+        if metric.name in self._metrics:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def get(self, name: str) -> SecurityMetric:
+        """Look a metric up by name."""
+        return self._metrics[name]
+
+    def for_threat(self, threat: ThreatVector) -> List[SecurityMetric]:
+        """All metrics quantifying one threat vector."""
+        return [m for m in self._metrics.values() if m.threat is threat]
+
+    def all(self) -> List[SecurityMetric]:
+        """Every registered metric."""
+        return list(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+@dataclass
+class StepFunctionMetric:
+    """A security level that jumps at effort thresholds (paper Sec. IV).
+
+    ``thresholds[i]`` is the minimum effort to reach level ``i+1``;
+    between thresholds the level — and hence the security — is flat.
+    Contrast :meth:`ppa_cost`, which grows smoothly with effort: the
+    difference is precisely why classical DSE heuristics (gradient
+    following) mis-handle security objectives.
+    """
+
+    name: str
+    thresholds: List[float]
+    level_names: Optional[List[str]] = None
+
+    def level(self, effort: float) -> int:
+        """Security level reached at ``effort``."""
+        return bisect.bisect_right(self.thresholds, effort)
+
+    def level_name(self, effort: float) -> str:
+        """Readable name of the level reached at ``effort``."""
+        lv = self.level(effort)
+        if self.level_names and lv < len(self.level_names):
+            return self.level_names[lv]
+        return f"level-{lv}"
+
+    def marginal_gain(self, effort: float, delta: float) -> int:
+        """Levels gained by spending ``delta`` more — usually zero."""
+        return self.level(effort + delta) - self.level(effort)
+
+    def efficient_efforts(self) -> List[float]:
+        """The only effort values worth choosing: the thresholds.
+
+        Anything strictly between two thresholds wastes cost without
+        gaining security — the actionable consequence of step-function
+        behaviour for design-space exploration.
+        """
+        return list(self.thresholds)
+
+
+def sat_attack_resistance_steps(key_bits_thresholds: Sequence[float] = (
+        8, 16, 32, 64)) -> StepFunctionMetric:
+    """Canonical example: locking strength vs key bits.
+
+    Below ~8 bits brute force wins instantly; each threshold marks the
+    point where a distinct attacker class (brute force, plain SAT,
+    budgeted SAT, none) is priced out.  Between thresholds, extra key
+    bits cost area but buy no new attacker exclusion.
+    """
+    return StepFunctionMetric(
+        name="locking-resistance",
+        thresholds=list(key_bits_thresholds),
+        level_names=[
+            "none", "stops-brute-force", "slows-sat", "stops-budgeted-sat",
+            "stops-all-modeled",
+        ],
+    )
+
+
+def masking_order_steps() -> StepFunctionMetric:
+    """Masking security vs number of shares: jumps only at whole orders."""
+    return StepFunctionMetric(
+        name="masking-order",
+        thresholds=[2, 3, 4],
+        level_names=["unprotected", "1st-order", "2nd-order", "3rd-order"],
+    )

@@ -1,0 +1,164 @@
+"""Design stages and the classical (security-unaware) EDA flow — Fig. 1.
+
+The six stages are the rows of Table II.  :class:`ClassicalFlow` chains
+the substrate engines exactly as the paper's Fig. 1 draws them —
+synthesis, technology mapping, place-and-route, timing/power sign-off,
+test generation — optimizing PPA and nothing else.  Its report has an
+empty ``security_checks`` list *by construction*; the secure flow in
+:mod:`repro.core.flow` is the paper's proposed alternative.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dft import run_atpg
+from ..netlist import Netlist, ppa_report
+from ..netlist.metrics import PPAReport
+from ..physical import (
+    Placement,
+    annealing_placement,
+    critical_path_placed,
+    power_density_map,
+)
+from ..synth import SynthesisFlow, standard_library
+
+
+class DesignStage(enum.Enum):
+    """The rows of Table II."""
+
+    HIGH_LEVEL_SYNTHESIS = "high-level synthesis"
+    LOGIC_SYNTHESIS = "logic synthesis"
+    PHYSICAL_SYNTHESIS = "physical synthesis (place and route)"
+    FUNCTIONAL_VALIDATION = "functional validation"
+    TIMING_POWER_VERIFICATION = "timing and power verification"
+    TESTING = "testing (ATPG, DFT, BIST)"
+
+
+@dataclass
+class StageRecord:
+    """What one stage did and measured."""
+
+    stage: DesignStage
+    actions: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    security_checks: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FlowReport:
+    """Trace of a complete flow run."""
+
+    design_name: str
+    records: List[StageRecord] = field(default_factory=list)
+    final_ppa: Optional[PPAReport] = None
+
+    @property
+    def total_security_checks(self) -> int:
+        return sum(len(r.security_checks) for r in self.records)
+
+    def render(self) -> str:
+        """Human-readable per-stage trace."""
+        lines = [f"=== flow report: {self.design_name} ==="]
+        for r in self.records:
+            lines.append(f"[{r.stage.value}]")
+            for a in r.actions:
+                lines.append(f"  - {a}")
+            for k, v in r.metrics.items():
+                lines.append(f"    {k} = {v:.2f}")
+            if r.security_checks:
+                for c in r.security_checks:
+                    lines.append(f"    [security] {c}")
+            else:
+                lines.append("    [security] (none)")
+        if self.final_ppa:
+            d = self.final_ppa.as_dict()
+            lines.append("final PPA: " + ", ".join(
+                f"{k}={v:.1f}" for k, v in d.items()))
+        return "\n".join(lines)
+
+
+@dataclass
+class ClassicalFlowResult:
+    netlist: Netlist
+    placement: Optional[Placement]
+    report: FlowReport
+
+
+class ClassicalFlow:
+    """Fig. 1: the PPA-driven flow with no security awareness.
+
+    Parameters bound the effort of each engine so the flow stays fast
+    on test-sized designs.
+    """
+
+    def __init__(self, placement_iterations: int = 6000,
+                 run_atpg_stage: bool = True,
+                 seed: int = 0) -> None:
+        self.placement_iterations = placement_iterations
+        self.run_atpg_stage = run_atpg_stage
+        self.seed = seed
+
+    def run(self, netlist: Netlist) -> ClassicalFlowResult:
+        """Run all classical stages; returns netlist, placement, report."""
+        report = FlowReport(netlist.name)
+
+        # Logic synthesis + technology mapping.
+        synth = SynthesisFlow(library=standard_library())
+        result = synth.run(netlist)
+        optimized = result.netlist
+        record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
+        record.actions.append(
+            f"optimized {result.ppa_before.cell_count} -> "
+            f"{result.ppa_after.cell_count} cells, mapped to std library"
+        )
+        record.metrics["area"] = result.ppa_after.area
+        record.metrics["area_reduction"] = result.area_reduction
+        report.records.append(record)
+
+        # Functional validation: spot equivalence via simulation only
+        # (classical flows trust their own rewrites or run LEC; no
+        # security properties are checked either way).
+        record = StageRecord(DesignStage.FUNCTIONAL_VALIDATION)
+        record.actions.append("logic equivalence assumed from certified "
+                              "rewrites (no security properties checked)")
+        report.records.append(record)
+
+        # Physical synthesis.
+        placed = annealing_placement(
+            optimized, iterations=self.placement_iterations,
+            seed=self.seed)
+        record = StageRecord(DesignStage.PHYSICAL_SYNTHESIS)
+        record.actions.append(
+            f"annealing placement: HPWL {placed.initial_hpwl:.0f} -> "
+            f"{placed.final_hpwl:.0f}"
+        )
+        record.metrics["hpwl"] = placed.final_hpwl
+        report.records.append(record)
+
+        # Timing / power sign-off.
+        record = StageRecord(DesignStage.TIMING_POWER_VERIFICATION)
+        delay = critical_path_placed(optimized, placed.placement)
+        record.metrics["critical_path_ps"] = delay
+        density = power_density_map(optimized, placed.placement)
+        record.metrics["max_power_density"] = float(density.max())
+        record.actions.append("wire-aware STA and IR-drop proxy check")
+        report.records.append(record)
+
+        # Testing.
+        record = StageRecord(DesignStage.TESTING)
+        if self.run_atpg_stage:
+            atpg = run_atpg(optimized, random_budget=32, seed=self.seed)
+            record.metrics["stuck_at_coverage"] = atpg.coverage
+            record.actions.append(
+                f"ATPG: {len(atpg.vectors)} vectors, "
+                f"{len(atpg.untestable)} redundant faults"
+            )
+        else:
+            record.actions.append("ATPG skipped (flow configuration)")
+        report.records.append(record)
+
+        report.final_ppa = ppa_report(optimized)
+        return ClassicalFlowResult(optimized, placed.placement, report)

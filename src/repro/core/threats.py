@@ -1,0 +1,150 @@
+"""Threat vectors and threat models (paper Table I and Sec. II-C).
+
+The paper insists every security scheme starts from an explicit threat
+model: the adversary's assets, capabilities, constraints, and goals,
+plus when in the IC life cycle the attack happens.  These dataclasses
+make that first-class in the flow: every security pass declares the
+threats it addresses, every metric the threat it quantifies, and the
+composition engine slices reports by these vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class ThreatVector(enum.Enum):
+    """The four threat columns of Table I / Table II."""
+
+    SIDE_CHANNEL = "side-channel attacks"
+    FAULT_INJECTION = "fault-injection attacks"
+    IP_PIRACY = "IP piracy and counterfeiting"
+    TROJAN = "hardware Trojans"
+
+
+class AttackTime(enum.Enum):
+    """When in the life cycle the attack occurs (Table I column 2)."""
+
+    DESIGN = "design"
+    MANUFACTURING = "manufacturing"
+    RUNTIME = "runtime"
+    IN_FIELD = "in the field"
+
+
+class EdaRole(enum.Enum):
+    """What EDA can contribute (Table I column 3)."""
+
+    EVALUATION = "evaluation at design time"
+    MITIGATION = "mitigation at design time"
+    VERIFICATION = "verification at design time"
+    TEST_PREPARATION = "preparing for testing and inspection"
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """A fully specified adversary (paper Sec. II-C)."""
+
+    name: str
+    vector: ThreatVector
+    attack_times: Tuple[AttackTime, ...]
+    adversary: str                   # who
+    assets: Tuple[str, ...]          # what they want
+    capabilities: Tuple[str, ...]    # what they can do
+    constraints: Tuple[str, ...]     # what they cannot do
+    goals: Tuple[str, ...]
+    eda_roles: Tuple[EdaRole, ...]
+
+
+#: The standard adversaries used throughout the experiments — one (or
+#: two) per Table I row.
+THREAT_CATALOG: Dict[str, ThreatModel] = {}
+
+
+def _register(model: ThreatModel) -> ThreatModel:
+    THREAT_CATALOG[model.name] = model
+    return model
+
+
+POWER_SCA_ADVERSARY = _register(ThreatModel(
+    name="power-sca",
+    vector=ThreatVector.SIDE_CHANNEL,
+    attack_times=(AttackTime.RUNTIME,),
+    adversary="physical attacker with oscilloscope access to the device",
+    assets=("cryptographic keys", "processed secrets"),
+    capabilities=(
+        "measure power/EM traces for chosen plaintexts",
+        "average millions of measurements",
+        "profile identical devices",
+    ),
+    constraints=("cannot open the package", "no fault injection"),
+    goals=("recover key bytes via CPA/DPA", "distinguish secrets via TVLA"),
+    eda_roles=(EdaRole.EVALUATION, EdaRole.MITIGATION),
+))
+
+FIA_ADVERSARY = _register(ThreatModel(
+    name="dfa",
+    vector=ThreatVector.FAULT_INJECTION,
+    attack_times=(AttackTime.RUNTIME,),
+    adversary="physical attacker with laser/EM/clock-glitch equipment",
+    assets=("cryptographic keys",),
+    capabilities=(
+        "inject byte/bit faults at chosen rounds",
+        "repeat injections at the same location",
+        "collect correct/faulty ciphertext pairs",
+    ),
+    constraints=("fault model limited to transient byte/bit upsets",),
+    goals=("recover the key via differential fault analysis",),
+    eda_roles=(EdaRole.EVALUATION, EdaRole.MITIGATION),
+))
+
+FOUNDRY_ADVERSARY = _register(ThreatModel(
+    name="untrusted-foundry",
+    vector=ThreatVector.IP_PIRACY,
+    attack_times=(AttackTime.MANUFACTURING,),
+    adversary="malicious foundry or test-facility insider",
+    assets=("gate-level design IP", "overproduced dies"),
+    capabilities=(
+        "full FEOL layout access",
+        "SAT/SMT solvers and oracle access to an activated chip",
+        "machine-learning proximity attacks on split layouts",
+    ),
+    constraints=("no knowledge of the locking key or BEOL routing",),
+    goals=("pirate the netlist", "unlock and overbuild chips"),
+    eda_roles=(EdaRole.MITIGATION,),
+))
+
+END_USER_ADVERSARY = _register(ThreatModel(
+    name="malicious-end-user",
+    vector=ThreatVector.IP_PIRACY,
+    attack_times=(AttackTime.IN_FIELD,),
+    adversary="end-user with physical device access",
+    assets=("design IP via reverse engineering", "secrets via scan"),
+    capabilities=(
+        "delayer and image the chip (defeated by camouflage candidates)",
+        "drive the scan chain",
+    ),
+    constraints=("imaging cannot resolve camouflaged cell function",),
+    goals=("reverse engineer the netlist", "read out keys via scan"),
+    eda_roles=(EdaRole.MITIGATION, EdaRole.TEST_PREPARATION),
+))
+
+TROJAN_ADVERSARY = _register(ThreatModel(
+    name="trojan-insertion",
+    vector=ThreatVector.TROJAN,
+    attack_times=(AttackTime.DESIGN, AttackTime.MANUFACTURING),
+    adversary="rogue designer, 3rd-party IP vendor, or foundry insider",
+    assets=("device integrity", "processed secrets"),
+    capabilities=(
+        "insert rare-trigger logic before tape-out",
+        "add parasitic (always-on) logic at fabrication",
+    ),
+    constraints=(
+        "must evade functional test, delay and IDDQ screening",
+        "limited free die area (BISA)",
+    ),
+    goals=("leak information", "degrade or disrupt in the field"),
+    eda_roles=(EdaRole.MITIGATION, EdaRole.VERIFICATION,
+               EdaRole.TEST_PREPARATION),
+))

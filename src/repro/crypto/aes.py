@@ -1,0 +1,229 @@
+"""AES-128 reference implementation with round-level observation hooks.
+
+This is the canonical attack target of the paper's side-channel and
+fault-injection discussion (Sec. II-A): CPA attacks the first-round
+S-box output, TVLA uses fixed-vs-random plaintext sets, and DFA injects
+byte faults before the final rounds.  The implementation therefore
+exposes every intermediate round state rather than only the ciphertext.
+
+State convention: a 16-byte ``bytes``/list in the standard AES order,
+where byte ``i`` sits at row ``i % 4``, column ``i // 4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .gf import gf_inv, gf_mul
+
+SBOX: List[int] = []
+INV_SBOX: List[int] = [0] * 256
+
+
+def _build_sbox() -> None:
+    """Construct the S-box from first principles: inversion + affine map."""
+    for x in range(256):
+        inv = gf_inv(x)
+        y = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            y |= b << bit
+        SBOX.append(y)
+        INV_SBOX[y] = x
+
+
+_build_sbox()
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+#: ShiftRows source index: output byte i comes from state[SHIFT_ROWS[i]].
+SHIFT_ROWS = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+INV_SHIFT_ROWS = [SHIFT_ROWS.index(i) for i in range(16)]
+
+
+def expand_key(key: Sequence[int]) -> List[List[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([w ^ t for w, t in zip(words[i - 4], temp)])
+    return [sum(words[4 * r:4 * r + 4], []) for r in range(11)]
+
+
+def sub_bytes(state: Sequence[int]) -> List[int]:
+    """SubBytes: the S-box applied to every state byte."""
+    return [SBOX[b] for b in state]
+
+
+def inv_sub_bytes(state: Sequence[int]) -> List[int]:
+    """Inverse SubBytes."""
+    return [INV_SBOX[b] for b in state]
+
+
+def shift_rows(state: Sequence[int]) -> List[int]:
+    """ShiftRows: the fixed byte permutation."""
+    return [state[SHIFT_ROWS[i]] for i in range(16)]
+
+
+def inv_shift_rows(state: Sequence[int]) -> List[int]:
+    """Inverse ShiftRows."""
+    return [state[INV_SHIFT_ROWS[i]] for i in range(16)]
+
+
+def mix_columns(state: Sequence[int]) -> List[int]:
+    """MixColumns: the GF(2^8) MDS matrix per column."""
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        for r in range(4):
+            out[4 * c + r] = (
+                gf_mul(2, col[r])
+                ^ gf_mul(3, col[(r + 1) % 4])
+                ^ col[(r + 2) % 4]
+                ^ col[(r + 3) % 4]
+            )
+    return out
+
+
+def inv_mix_columns(state: Sequence[int]) -> List[int]:
+    """Inverse MixColumns."""
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        for r in range(4):
+            out[4 * c + r] = (
+                gf_mul(14, col[r])
+                ^ gf_mul(11, col[(r + 1) % 4])
+                ^ gf_mul(13, col[(r + 2) % 4])
+                ^ gf_mul(9, col[(r + 3) % 4])
+            )
+    return out
+
+
+def add_round_key(state: Sequence[int], rk: Sequence[int]) -> List[int]:
+    """AddRoundKey: byte-wise XOR with the round key."""
+    return [s ^ k for s, k in zip(state, rk)]
+
+
+@dataclass
+class AesTrace:
+    """All intermediate states of one encryption, for SCA/FIA studies.
+
+    ``round_states[r]`` is the state *after* round ``r`` completes
+    (``round_states[0]`` is the state after the initial AddRoundKey).
+    ``sbox_outputs[r]`` is the SubBytes output inside round ``r+1``.
+    """
+
+    round_states: List[List[int]] = field(default_factory=list)
+    sbox_outputs: List[List[int]] = field(default_factory=list)
+    ciphertext: List[int] = field(default_factory=list)
+
+
+class AES128:
+    """AES-128 block cipher with per-round observability."""
+
+    def __init__(self, key: Sequence[int]) -> None:
+        self.round_keys = expand_key(key)
+
+    def encrypt(self, plaintext: Sequence[int]) -> List[int]:
+        """Encrypt one 16-byte block."""
+        return self.encrypt_traced(plaintext).ciphertext
+
+    def encrypt_traced(self, plaintext: Sequence[int]) -> AesTrace:
+        """Encrypt while recording every intermediate round state."""
+        if len(plaintext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        trace = AesTrace()
+        state = add_round_key(plaintext, self.round_keys[0])
+        trace.round_states.append(list(state))
+        for rnd in range(1, 10):
+            state = sub_bytes(state)
+            trace.sbox_outputs.append(list(state))
+            state = shift_rows(state)
+            state = mix_columns(state)
+            state = add_round_key(state, self.round_keys[rnd])
+            trace.round_states.append(list(state))
+        state = sub_bytes(state)
+        trace.sbox_outputs.append(list(state))
+        state = shift_rows(state)
+        state = add_round_key(state, self.round_keys[10])
+        trace.round_states.append(list(state))
+        trace.ciphertext = list(state)
+        return trace
+
+    def decrypt(self, ciphertext: Sequence[int]) -> List[int]:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = add_round_key(ciphertext, self.round_keys[10])
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        for rnd in range(9, 0, -1):
+            state = add_round_key(state, self.round_keys[rnd])
+            state = inv_mix_columns(state)
+            state = inv_shift_rows(state)
+            state = inv_sub_bytes(state)
+        return add_round_key(state, self.round_keys[0])
+
+    def encrypt_with_fault(self, plaintext: Sequence[int], *,
+                           round_index: int, byte_index: int,
+                           fault_value: int) -> List[int]:
+        """Encrypt, XOR-ing ``fault_value`` into one state byte just
+        before ``round_index`` executes (1-based rounds, <= 10).
+
+        This is the classical DFA fault model (paper Sec. II-A.2): a
+        byte fault before the last SubBytes (``round_index=10``) yields
+        the single-byte differential the attack of :mod:`repro.fia.dfa`
+        exploits.
+        """
+        if not 1 <= round_index <= 10:
+            raise ValueError("round_index must be in 1..10")
+        state = add_round_key(plaintext, self.round_keys[0])
+        for rnd in range(1, 11):
+            if rnd == round_index:
+                state = list(state)
+                state[byte_index] ^= fault_value
+            state = sub_bytes(state)
+            state = shift_rows(state)
+            if rnd < 10:
+                state = mix_columns(state)
+            state = add_round_key(state, self.round_keys[rnd])
+        return list(state)
+
+
+def recover_master_key(last_round_key: Sequence[int]) -> List[int]:
+    """Invert the AES-128 key schedule from the round-10 key.
+
+    Scan and DFA attacks recover round keys, not the master key; this
+    routine completes them (paper Sec. III-F).
+    """
+    words = [list(last_round_key[4 * i:4 * i + 4]) for i in range(4)]
+    # Rebuild words 43..0; word index of the first provided word is 40.
+    all_words: List[List[int]] = [None] * 44  # type: ignore[list-item]
+    for i in range(4):
+        all_words[40 + i] = words[i]
+    for i in range(39, -1, -1):
+        later = all_words[i + 4]
+        prev = all_words[i + 3]
+        if (i + 4) % 4 == 0:
+            temp = list(prev[1:] + prev[:1])
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[(i + 4) // 4 - 1]
+        else:
+            temp = prev
+        all_words[i] = [w ^ t for w, t in zip(later, temp)]
+    return sum(all_words[0:4], [])

@@ -1,0 +1,112 @@
+"""Automatic test pattern generation (ATPG) for stuck-at faults.
+
+Two-phase industrial recipe: cheap random patterns with fault dropping
+first, then SAT-based deterministic generation for the stragglers (the
+D-algorithm's job, here done by asking the solver for an input that
+distinguishes the faulty circuit from the good one).  Faults the solver
+proves untestable are *redundant* — which is itself useful feedback, and
+security-relevant: redundant logic is where Trojans and locking key
+gates hide from testing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..fia import Fault, FaultKind, enumerate_faults, inject_fault
+from ..formal import CircuitEncoder
+from ..netlist import Netlist
+from .faultsim import grade_vectors
+
+
+@dataclass
+class AtpgResult:
+    """Vectors plus per-fault classification."""
+
+    vectors: List[Dict[str, int]]
+    detected: List[Fault] = field(default_factory=list)
+    untestable: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.untestable) + len(self.aborted)
+        if total == 0:
+            return 1.0
+        # Untestable (redundant) faults are conventionally excluded.
+        testable = total - len(self.untestable)
+        return len(self.detected) / testable if testable else 1.0
+
+
+def generate_test_for_fault(netlist: Netlist, fault: Fault,
+                            conflict_budget: Optional[int] = 50_000
+                            ) -> Tuple[Optional[Dict[str, int]], str]:
+    """SAT query for an input that exposes ``fault``.
+
+    Returns ``(test, "detected")``, ``(None, "untestable")`` when the
+    fault is provably redundant, or ``(None, "aborted")`` when the
+    conflict budget ran out.
+    """
+    faulty = inject_fault(netlist, fault)
+    enc = CircuitEncoder()
+    good_vars = enc.encode(netlist)
+    shared = {name: good_vars[name] for name in netlist.inputs
+              if name in faulty.gates}
+    bad_vars = enc.encode(faulty, bind=shared)
+    diffs = [enc.xor_of(good_vars[o], bad_vars[o]) for o in netlist.outputs]
+    enc.assert_equal(enc.or_of(diffs), 1)
+    result = enc.solver.solve(conflict_budget=conflict_budget)
+    if result is False:
+        return None, "untestable"
+    if result is None:
+        return None, "aborted"
+    test = {
+        name: enc.solver.model_value(good_vars[name])
+        for name in netlist.inputs
+    }
+    return test, "detected"
+
+
+def run_atpg(netlist: Netlist,
+             faults: Optional[Sequence[Fault]] = None,
+             random_budget: int = 64,
+             seed: int = 0) -> AtpgResult:
+    """Random phase with fault dropping, then SAT phase per survivor."""
+    rng = random.Random(seed)
+    fault_list = list(faults) if faults is not None else enumerate_faults(
+        netlist, kinds=(FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1))
+    vectors = [
+        {name: rng.randint(0, 1) for name in netlist.inputs}
+        for _ in range(random_budget)
+    ]
+    report = grade_vectors(netlist, vectors, fault_list)
+    result = AtpgResult(vectors=vectors)
+    result.detected = [f for f in fault_list if f not in report.undetected]
+    for fault in report.undetected:
+        test, status = generate_test_for_fault(netlist, fault)
+        if status == "untestable":
+            result.untestable.append(fault)
+        elif status == "aborted":
+            result.aborted.append(fault)
+        else:
+            result.vectors.append(test)
+            result.detected.append(fault)
+    return result
+
+
+def compact_vectors(netlist: Netlist, vectors: Sequence[Mapping[str, int]],
+                    faults: Optional[Sequence[Fault]] = None
+                    ) -> List[Dict[str, int]]:
+    """Greedy reverse-order compaction: drop vectors that do not reduce
+    coverage (classic static compaction)."""
+    kept = [dict(v) for v in vectors]
+    baseline = grade_vectors(netlist, kept, faults).coverage
+    index = len(kept) - 1
+    while index >= 0:
+        trial = kept[:index] + kept[index + 1:]
+        if grade_vectors(netlist, trial, faults).coverage >= baseline:
+            kept = trial
+        index -= 1
+    return kept

@@ -1,0 +1,104 @@
+"""Security-aware DFX controller (paper Sec. III-F).
+
+Modern "design-for-X" infrastructure combines scan, BIST, transient-
+fault handling, and debug.  The paper argues it must become security
+aware: discriminate natural from malicious faults (responding with
+recovery vs. re-keying), and manage IP-protection secrets (the locking
+key) inside the same trust boundary.  :class:`DfxController` is that
+component: a policy engine gluing together the BIST engine, the fault
+discriminator of :mod:`repro.fia.discriminate`, and locking-key
+management.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..fia.discriminate import (
+    Assessment,
+    FaultDiscriminator,
+    FaultEvent,
+    Response,
+    Verdict,
+)
+
+
+class ChipState(enum.Enum):
+    """Operational state managed by the DFX controller."""
+
+    MISSION = "mission"
+    RECOVERING = "recovering"
+    REKEYING = "rekeying"
+    DISABLED = "disabled"
+
+
+@dataclass
+class DfxEventLog:
+    """One handled alarm with the controller's decision."""
+
+    event: FaultEvent
+    assessment: Assessment
+    state_after: ChipState
+
+
+@dataclass
+class DfxController:
+    """Security-aware test/debug/response controller.
+
+    Holds the locking key (activated once via :meth:`provision_key`);
+    malicious verdicts trigger re-keying (key epoch bump, old key
+    invalid) or, past a strike budget, permanent disable.  Natural
+    verdicts recover and resume — availability is preserved.
+    """
+
+    discriminator: FaultDiscriminator = field(
+        default_factory=FaultDiscriminator)
+    max_rekey_events: int = 3
+    state: ChipState = ChipState.MISSION
+    key_epoch: int = 0
+    _key: Optional[int] = None
+    rekey_count: int = 0
+    log: List[DfxEventLog] = field(default_factory=list)
+
+    def provision_key(self, key: int) -> None:
+        """One-time locking-key activation (paper: key management for
+        locking inside the DFX infrastructure)."""
+        if self._key is not None:
+            raise RuntimeError("key already provisioned")
+        self._key = key
+
+    def unlock_key(self, epoch: int) -> Optional[int]:
+        """The datapath fetches the key for the current epoch only."""
+        if self.state is ChipState.DISABLED or self._key is None:
+            return None
+        if epoch != self.key_epoch:
+            return None
+        return self._key ^ self.key_epoch  # epoch-diversified key
+
+    def handle_alarm(self, event: FaultEvent) -> DfxEventLog:
+        """Feed one detected-fault event through the policy engine."""
+        assessment = self.discriminator.observe(event)
+        if self.state is ChipState.DISABLED:
+            entry = DfxEventLog(event, assessment, self.state)
+            self.log.append(entry)
+            return entry
+        if assessment.verdict is Verdict.NATURAL:
+            # Fast recovery and resumption (availability first).
+            self.state = ChipState.MISSION
+        else:
+            self.rekey_count += 1
+            if (assessment.response is Response.DISCONTINUE
+                    or self.rekey_count > self.max_rekey_events):
+                self.state = ChipState.DISABLED
+            else:
+                self.key_epoch += 1
+                self.state = ChipState.MISSION
+        entry = DfxEventLog(event, assessment, self.state)
+        self.log.append(entry)
+        return entry
+
+    @property
+    def operational(self) -> bool:
+        return self.state is not ChipState.DISABLED

@@ -1,0 +1,62 @@
+"""Stuck-at fault simulation for test-coverage grading.
+
+Grades a vector set against the single-stuck-at model using the
+bit-parallel simulator: one faulty-netlist simulation covers the whole
+pattern set at once.  Fault dropping keeps campaigns fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from ..fia import Fault, FaultKind, enumerate_faults, inject_fault
+from ..netlist import Netlist, pack_patterns, simulate
+
+
+@dataclass
+class CoverageReport:
+    """Stuck-at coverage of a test set."""
+
+    total_faults: int
+    detected_faults: int
+    undetected: List[Fault]
+
+    @property
+    def coverage(self) -> float:
+        if self.total_faults == 0:
+            return 1.0
+        return self.detected_faults / self.total_faults
+
+
+def grade_vectors(netlist: Netlist,
+                  vectors: Sequence[Mapping[str, int]],
+                  faults: Optional[Sequence[Fault]] = None
+                  ) -> CoverageReport:
+    """Fraction of stuck-at faults whose effect reaches an output.
+
+    ``faults`` defaults to all single stuck-at faults on all nets.
+    """
+    fault_list = list(faults) if faults is not None else enumerate_faults(
+        netlist, kinds=(FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1))
+    if not vectors:
+        return CoverageReport(len(fault_list), 0, list(fault_list))
+    width = len(vectors)
+    stimulus = pack_patterns(list(vectors), netlist.inputs)
+    golden = simulate(netlist, stimulus, width)
+    mask = (1 << width) - 1
+    undetected: List[Fault] = []
+    detected = 0
+    for fault in fault_list:
+        faulty_netlist = inject_fault(netlist, fault)
+        values = simulate(faulty_netlist, stimulus, width)
+        difference = 0
+        for out in netlist.outputs:
+            difference |= (golden[out] ^ values[out]) & mask
+            if difference:
+                break
+        if difference:
+            detected += 1
+        else:
+            undetected.append(fault)
+    return CoverageReport(len(fault_list), detected, undetected)

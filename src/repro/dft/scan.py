@@ -1,0 +1,119 @@
+"""Scan-chain insertion and scan-mode operation.
+
+Design-for-test foundation (paper Sec. III-F): every DFF becomes a scan
+flop — a mux selects between the functional D input and the previous
+flop in the chain — so test equipment can shift arbitrary state in and
+observe captured state out.  The same access is the security hole the
+scan attack exploits (:mod:`repro.dft.scan_attack`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import GateType, Netlist, step_sequential
+
+SCAN_ENABLE = "scan_en"
+SCAN_IN = "scan_in"
+SCAN_OUT = "scan_out"
+
+
+@dataclass
+class ScanDesign:
+    """A netlist with an inserted scan chain."""
+
+    netlist: Netlist
+    chain: List[str]          # flop output nets, scan-in first
+
+    @property
+    def length(self) -> int:
+        return len(self.chain)
+
+
+def insert_scan(netlist: Netlist) -> ScanDesign:
+    """Stitch all DFFs into one scan chain (insertion order).
+
+    Adds inputs ``scan_en`` / ``scan_in`` and output ``scan_out``.  In
+    shift mode (``scan_en=1``) each flop captures its chain predecessor;
+    in capture mode it takes its functional D input.
+    """
+    if not netlist.is_sequential:
+        raise ValueError("scan insertion requires at least one DFF")
+    scan = netlist.copy(netlist.name + "_scan")
+    scan.add_input(SCAN_ENABLE)
+    scan.add_input(SCAN_IN)
+    chain = scan.flops
+    previous = SCAN_IN
+    for ff in chain:
+        flop = scan.gates[ff]
+        functional_d = flop.fanins[0]
+        mux = scan.add(GateType.MUX, [SCAN_ENABLE, functional_d, previous],
+                       prefix=f"sc_{ff}_")
+        flop.fanins = [mux]
+        previous = ff
+    scan.add_gate(SCAN_OUT, GateType.BUF, [previous])
+    scan.add_output(SCAN_OUT)
+    scan.invalidate()
+    return ScanDesign(scan, chain)
+
+
+def scan_load(design: ScanDesign, bits: Sequence[int],
+              functional_inputs: Optional[Mapping[str, int]] = None,
+              state: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    """Shift a bit sequence into the chain (last element enters first
+    flop last, i.e. ``bits[i]`` ends up in ``chain[i]``)."""
+    if len(bits) != design.length:
+        raise ValueError("bit count must equal chain length")
+    state = dict(state or {})
+    base = dict(functional_inputs or {})
+    # Shift in reversed so bits[0] lands in chain[0].
+    for bit in reversed(list(bits)):
+        stim = dict(base)
+        stim[SCAN_ENABLE] = 1
+        stim[SCAN_IN] = bit & 1
+        stim.setdefault(SCAN_IN, bit & 1)
+        _, state = step_sequential(design.netlist, _fill(design, stim),
+                                   state)
+    return state
+
+
+def scan_capture(design: ScanDesign,
+                 functional_inputs: Mapping[str, int],
+                 state: Dict[str, int]) -> Dict[str, int]:
+    """One functional (capture) cycle with ``scan_en = 0``."""
+    stim = dict(functional_inputs)
+    stim[SCAN_ENABLE] = 0
+    stim[SCAN_IN] = 0
+    _, state = step_sequential(design.netlist, _fill(design, stim), state)
+    return state
+
+
+def scan_unload(design: ScanDesign,
+                state: Dict[str, int],
+                functional_inputs: Optional[Mapping[str, int]] = None
+                ) -> Tuple[List[int], Dict[str, int]]:
+    """Shift the chain out; returns (bits, final state).
+
+    ``bits[i]`` is the value that was held in ``chain[i]``.
+    """
+    base = dict(functional_inputs or {})
+    bits: List[int] = []
+    state = dict(state)
+    # chain[-1] drives scan_out directly; shifting length times reads all.
+    for _ in range(design.length):
+        stim = dict(base)
+        stim[SCAN_ENABLE] = 1
+        stim[SCAN_IN] = 0
+        values, state = step_sequential(design.netlist,
+                                        _fill(design, stim), state)
+        bits.append(values[SCAN_OUT] & 1)
+    # scan_out emits chain[-1] first.
+    return list(reversed(bits)), state
+
+
+def _fill(design: ScanDesign, stimulus: Dict[str, int]) -> Dict[str, int]:
+    """Default unspecified functional inputs to 0."""
+    full = {name: 0 for name in design.netlist.inputs}
+    full.update(stimulus)
+    return full

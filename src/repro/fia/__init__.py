@@ -1,0 +1,66 @@
+"""Fault-injection attacks and countermeasures: injection, DFA, codes, sensors."""
+
+from .models import Fault, FaultKind, enumerate_faults, sample_faults
+from .injector import inject_fault, with_fault_control
+from .analysis import (
+    CampaignReport,
+    FaultOutcome,
+    FormalFaultResult,
+    fault_campaign,
+    formal_coverage,
+    prove_fault_detected,
+)
+from .codes import (
+    ProtectedDesign,
+    duplicate_and_compare,
+    parity_protect,
+    residue_mod3_net,
+    residue_protect_adder,
+    tmr_protect,
+)
+from .glitch_attack import (
+    GlitchOutcome,
+    clock_glitch_capture,
+    guard_band_to_close,
+    vulnerability_profile,
+)
+from .dfa import (
+    BIT_FAULTS,
+    DfaAttacker,
+    DfaResult,
+    dfa_on_unprotected,
+    last_round_candidates,
+)
+from .infective import DetectAndSuppressAES, InfectiveAES
+from .sensors import (
+    Sensor,
+    SensorPlan,
+    greedy_sensor_placement,
+    injection_campaign,
+)
+from .discriminate import (
+    Assessment,
+    FaultDiscriminator,
+    FaultEvent,
+    Response,
+    Verdict,
+    attack_fault_stream,
+    natural_fault_stream,
+)
+
+__all__ = [
+    "Fault", "FaultKind", "enumerate_faults", "sample_faults",
+    "inject_fault", "with_fault_control",
+    "CampaignReport", "FaultOutcome", "FormalFaultResult",
+    "fault_campaign", "formal_coverage", "prove_fault_detected",
+    "ProtectedDesign", "duplicate_and_compare", "parity_protect",
+    "residue_mod3_net", "residue_protect_adder", "tmr_protect",
+    "GlitchOutcome", "clock_glitch_capture", "guard_band_to_close",
+    "vulnerability_profile",
+    "BIT_FAULTS", "DfaAttacker", "DfaResult", "dfa_on_unprotected",
+    "last_round_candidates",
+    "DetectAndSuppressAES", "InfectiveAES",
+    "Sensor", "SensorPlan", "greedy_sensor_placement", "injection_campaign",
+    "Assessment", "FaultDiscriminator", "FaultEvent", "Response", "Verdict",
+    "attack_fault_stream", "natural_fault_stream",
+]

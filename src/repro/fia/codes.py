@@ -1,0 +1,225 @@
+"""Error-detecting and error-correcting architectures.
+
+The HLS-stage countermeasures of Table II ([10], [18]): concurrent
+error detection by duplication or parity prediction, and error
+*correction* by triplication (TMR).  All are netlist transformers that
+attach the protection around an arbitrary combinational payload —
+letting the composition experiments measure their side effects on SCA
+resistance (Sec. IV, ref [61]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist import GateType, Netlist
+
+
+@dataclass
+class ProtectedDesign:
+    """A payload wrapped with a detection/correction architecture."""
+
+    netlist: Netlist
+    alarm: Optional[str]          # detection output (None for TMR)
+    payload_outputs: List[str]    # functional outputs
+    scheme: str
+    overhead_cells: int           # extra cells vs. the bare payload
+
+
+def _copy_into(host: Netlist, payload: Netlist, prefix: str) -> Dict[str, str]:
+    port_map = {inp: inp for inp in payload.inputs}
+    return host.import_netlist(payload, prefix, port_map)
+
+
+def duplicate_and_compare(payload: Netlist) -> ProtectedDesign:
+    """Duplication with comparison: two payload copies, XOR comparator.
+
+    Detects any fault confined to one copy (or the comparator input
+    side); the classical high-coverage, 2x-area scheme.
+    """
+    host = Netlist(payload.name + "_dup")
+    for inp in payload.inputs:
+        host.add_input(inp)
+    main = _copy_into(host, payload, "m_")
+    shadow = _copy_into(host, payload, "s_")
+    outputs: List[str] = []
+    mismatches: List[str] = []
+    for out in payload.outputs:
+        pub = f"o_{out}"
+        host.add_gate(pub, GateType.BUF, [main[out]])
+        host.add_output(pub)
+        outputs.append(pub)
+        mismatches.append(
+            host.add(GateType.XOR, [main[out], shadow[out]], prefix="cmp")
+        )
+    alarm_body = (mismatches[0] if len(mismatches) == 1
+                  else host.add(GateType.OR, mismatches, prefix="alrm"))
+    host.add_gate("alarm", GateType.BUF, [alarm_body])
+    host.add_output("alarm")
+    return ProtectedDesign(
+        netlist=host, alarm="alarm", payload_outputs=outputs,
+        scheme="duplication",
+        overhead_cells=host.num_cells() - payload.num_cells(),
+    )
+
+
+def parity_protect(payload: Netlist) -> ProtectedDesign:
+    """Parity prediction: a shadow cone predicts the XOR of all outputs.
+
+    Built here as a full shadow copy reduced to its parity (logic
+    synthesis would shrink the predictor to just the parity cone); the
+    scheme's defining property is that it is blind to *even-weight*
+    output errors — the campaign in ``benchmarks/bench_table2.py``
+    quantifies exactly that gap versus duplication.
+    """
+    host = Netlist(payload.name + "_par")
+    for inp in payload.inputs:
+        host.add_input(inp)
+    main = _copy_into(host, payload, "m_")
+    predictor = _copy_into(host, payload, "p_")
+    outputs: List[str] = []
+    for out in payload.outputs:
+        pub = f"o_{out}"
+        host.add_gate(pub, GateType.BUF, [main[out]])
+        host.add_output(pub)
+        outputs.append(pub)
+    main_outs = [main[o] for o in payload.outputs]
+    pred_outs = [predictor[o] for o in payload.outputs]
+    if len(main_outs) == 1:
+        actual = main_outs[0]
+        predicted = pred_outs[0]
+    else:
+        actual = host.add(GateType.XOR, main_outs, prefix="par_a")
+        predicted = host.add(GateType.XOR, pred_outs, prefix="par_p")
+    body = host.add(GateType.XOR, [actual, predicted], prefix="alrm")
+    host.add_gate("alarm", GateType.BUF, [body])
+    host.add_output("alarm")
+    return ProtectedDesign(
+        netlist=host, alarm="alarm", payload_outputs=outputs,
+        scheme="parity",
+        overhead_cells=host.num_cells() - payload.num_cells(),
+    )
+
+
+def tmr_protect(payload: Netlist) -> ProtectedDesign:
+    """Triple modular redundancy with per-output majority voting.
+
+    Corrects (not merely detects) any single-copy fault; ~3x area.
+    An optional disagreement alarm is also emitted so the DFX layer can
+    count corrected events (paper Sec. III-F).
+    """
+    host = Netlist(payload.name + "_tmr")
+    for inp in payload.inputs:
+        host.add_input(inp)
+    copies = [_copy_into(host, payload, f"r{i}_") for i in range(3)]
+    outputs: List[str] = []
+    disagreements: List[str] = []
+    for out in payload.outputs:
+        a, b, c = (copies[i][out] for i in range(3))
+        ab = host.add(GateType.AND, [a, b], prefix="v")
+        ac = host.add(GateType.AND, [a, c], prefix="v")
+        bc = host.add(GateType.AND, [b, c], prefix="v")
+        voted = host.add(GateType.OR, [ab, ac, bc], prefix="vote")
+        pub = f"o_{out}"
+        host.add_gate(pub, GateType.BUF, [voted])
+        host.add_output(pub)
+        outputs.append(pub)
+        dis_ab = host.add(GateType.XOR, [a, b], prefix="d")
+        dis_ac = host.add(GateType.XOR, [a, c], prefix="d")
+        disagreements.append(
+            host.add(GateType.OR, [dis_ab, dis_ac], prefix="dis")
+        )
+    body = (disagreements[0] if len(disagreements) == 1
+            else host.add(GateType.OR, disagreements, prefix="alrm"))
+    host.add_gate("alarm", GateType.BUF, [body])
+    host.add_output("alarm")
+    return ProtectedDesign(
+        netlist=host, alarm="alarm", payload_outputs=outputs,
+        scheme="tmr",
+        overhead_cells=host.num_cells() - payload.num_cells(),
+    )
+
+
+def residue_mod3_net(host: Netlist, bits: List[str], prefix: str
+                     ) -> Tuple[str, str]:
+    """Two-bit mod-3 residue of a bit vector (LSB first).
+
+    Returns nets ``(r0, r1)`` encoding value % 3 in binary.  Built by
+    iteratively folding each bit's residue contribution (2^i mod 3
+    alternates 1, 2, 1, 2, ...) into a 2-bit accumulator via a small
+    mod-3 adder.
+    """
+    zero = host.add(GateType.CONST0, [], prefix=f"{prefix}z")
+    r0, r1 = zero, zero
+    for i, bit in enumerate(bits):
+        # Contribution of this bit: 1 if i even, 2 if i odd (mod 3).
+        if i % 2 == 0:
+            c0, c1 = bit, zero
+        else:
+            c0, c1 = zero, bit
+        r0, r1 = _mod3_add(host, r0, r1, c0, c1, f"{prefix}{i}_")
+    return r0, r1
+
+
+def _mod3_add(host: Netlist, a0: str, a1: str, b0: str, b1: str,
+              prefix: str) -> Tuple[str, str]:
+    """Add two mod-3 residues (00, 01, 10 encodings; 11 never occurs).
+
+    Truth-table derived two-bit modular adder:
+    s = (a + b) mod 3 with a, b in {0, 1, 2}.
+    """
+    # s0 = (a0 & ~b0 & ~b1) | (~a0 & ~a1 & b0) | (a1 & b1)
+    na0 = host.add(GateType.NOT, [a0], prefix=prefix + "n")
+    na1 = host.add(GateType.NOT, [a1], prefix=prefix + "n")
+    nb0 = host.add(GateType.NOT, [b0], prefix=prefix + "n")
+    nb1 = host.add(GateType.NOT, [b1], prefix=prefix + "n")
+    t1 = host.add(GateType.AND, [a0, nb0, nb1], prefix=prefix + "t")
+    t2 = host.add(GateType.AND, [na0, na1, b0], prefix=prefix + "t")
+    t3 = host.add(GateType.AND, [a1, b1], prefix=prefix + "t")
+    s0 = host.add(GateType.OR, [t1, t2, t3], prefix=prefix + "s0_")
+    # s1 = (a1 & ~b0 & ~b1) | (~a0 & ~a1 & b1) | (a0 & b0)
+    u1 = host.add(GateType.AND, [a1, nb0, nb1], prefix=prefix + "u")
+    u2 = host.add(GateType.AND, [na0, na1, b1], prefix=prefix + "u")
+    u3 = host.add(GateType.AND, [a0, b0], prefix=prefix + "u")
+    s1 = host.add(GateType.OR, [u1, u2, u3], prefix=prefix + "s1_")
+    return s0, s1
+
+
+def residue_protect_adder(width: int) -> ProtectedDesign:
+    """Mod-3 residue-checked ripple-carry adder.
+
+    Checks ``residue(a) + residue(b) == residue(sum)`` — an arithmetic
+    code detecting any fault that shifts the sum by a non-multiple of 3,
+    at far lower cost than duplication.
+    """
+    from ..netlist import ripple_carry_adder
+
+    payload = ripple_carry_adder(width)
+    host = Netlist(f"rca{width}_res3")
+    for inp in payload.inputs:
+        host.add_input(inp)
+    main = _copy_into(host, payload, "m_")
+    outputs: List[str] = []
+    for out in payload.outputs:
+        pub = f"o_{out}"
+        host.add_gate(pub, GateType.BUF, [main[out]])
+        host.add_output(pub)
+        outputs.append(pub)
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    s_bits = [main[f"s{i}"] for i in range(width)] + [main["cout"]]
+    ra0, ra1 = residue_mod3_net(host, a_bits, "ra")
+    rb0, rb1 = residue_mod3_net(host, b_bits, "rb")
+    rs0, rs1 = residue_mod3_net(host, s_bits, "rs")
+    exp0, exp1 = _mod3_add(host, ra0, ra1, rb0, rb1, "re_")
+    d0 = host.add(GateType.XOR, [exp0, rs0], prefix="rd")
+    d1 = host.add(GateType.XOR, [exp1, rs1], prefix="rd")
+    body = host.add(GateType.OR, [d0, d1], prefix="alrm")
+    host.add_gate("alarm", GateType.BUF, [body])
+    host.add_output("alarm")
+    return ProtectedDesign(
+        netlist=host, alarm="alarm", payload_outputs=outputs,
+        scheme="residue3",
+        overhead_cells=host.num_cells() - payload.num_cells(),
+    )

@@ -1,0 +1,145 @@
+"""Distinguishing natural from malicious faults.
+
+Paper Sec. III-F (ref [59]): a security-aware DFX infrastructure must
+respond differently to radiation-induced soft errors (recover and
+resume) versus fault *attacks* (re-key or halt) — but first it has to
+tell them apart.  Natural faults are rare, spatially and temporally
+uniform; attacks cluster on the same target, repeat quickly, and align
+with sensitive operations.
+
+:class:`FaultDiscriminator` consumes a stream of detection events and
+applies rate / locality / phase heuristics to produce a verdict and the
+corresponding response policy.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class Verdict(enum.Enum):
+    """Classification of an observed fault stream."""
+
+    NATURAL = "natural"
+    MALICIOUS = "malicious"
+
+
+class Response(enum.Enum):
+    """Responses per the paper: recovery for nature, re-key for attack."""
+
+    RECOVER_AND_RESUME = "recover"
+    REKEY = "rekey"
+    DISCONTINUE = "discontinue"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One detected fault: when, where, and in which operation phase."""
+
+    time: float
+    location: str            # module/net identifier
+    sensitive_phase: bool    # did it hit a crypto-sensitive operation?
+
+
+@dataclass
+class Assessment:
+    verdict: Verdict
+    response: Response
+    score: float             # maliciousness score in [0, 1]
+    reasons: List[str] = field(default_factory=list)
+
+
+class FaultDiscriminator:
+    """Heuristic classifier over a sliding window of fault events.
+
+    Tunables mirror the engineering trade-off the paper describes:
+    a paranoid threshold re-keys on every cosmic ray (availability
+    loss); a lax one lets a patient attacker through.
+    """
+
+    def __init__(self, window: float = 1000.0,
+                 rate_threshold: float = 3.0,
+                 locality_threshold: float = 0.6,
+                 phase_threshold: float = 0.7,
+                 malicious_score: float = 0.5) -> None:
+        self.window = window
+        self.rate_threshold = rate_threshold
+        self.locality_threshold = locality_threshold
+        self.phase_threshold = phase_threshold
+        self.malicious_score = malicious_score
+        self.events: List[FaultEvent] = []
+
+    def observe(self, event: FaultEvent) -> Assessment:
+        """Record an event and (re)assess the stream."""
+        self.events.append(event)
+        return self.assess(now=event.time)
+
+    def assess(self, now: float) -> Assessment:
+        """Classify the recent event window at time ``now``."""
+        recent = [e for e in self.events if now - e.time <= self.window]
+        reasons: List[str] = []
+        score = 0.0
+        if not recent:
+            return Assessment(Verdict.NATURAL,
+                              Response.RECOVER_AND_RESUME, 0.0)
+        # Rate: events per window vs expected natural rate.
+        if len(recent) >= self.rate_threshold:
+            score += 0.4
+            reasons.append(
+                f"{len(recent)} faults within window (>= "
+                f"{self.rate_threshold})"
+            )
+        # Locality: repeated hits on one location.
+        counts: Dict[str, int] = {}
+        for e in recent:
+            counts[e.location] = counts.get(e.location, 0) + 1
+        top_fraction = max(counts.values()) / len(recent)
+        if len(recent) >= 2 and top_fraction >= self.locality_threshold:
+            score += 0.35
+            reasons.append(
+                f"{top_fraction:.0%} of recent faults hit one location"
+            )
+        # Phase alignment: faults timed at sensitive operations.
+        phase_fraction = (sum(1 for e in recent if e.sensitive_phase)
+                          / len(recent))
+        if len(recent) >= 2 and phase_fraction >= self.phase_threshold:
+            score += 0.25
+            reasons.append(
+                f"{phase_fraction:.0%} of recent faults hit sensitive phases"
+            )
+        if score >= self.malicious_score:
+            verdict = Verdict.MALICIOUS
+            response = (Response.DISCONTINUE if score >= 0.9
+                        else Response.REKEY)
+        else:
+            verdict = Verdict.NATURAL
+            response = Response.RECOVER_AND_RESUME
+        return Assessment(verdict, response, min(1.0, score), reasons)
+
+
+def natural_fault_stream(n_events: int, duration: float,
+                         locations: Sequence[str],
+                         seed: int = 0) -> List[FaultEvent]:
+    """Poisson-like uniform soft-error stream (the benign scenario)."""
+    rng = random.Random(seed)
+    times = sorted(rng.uniform(0, duration) for _ in range(n_events))
+    return [
+        FaultEvent(t, rng.choice(list(locations)),
+                   sensitive_phase=rng.random() < 0.2)
+        for t in times
+    ]
+
+
+def attack_fault_stream(n_events: int, start: float, target: str,
+                        interval: float = 50.0,
+                        seed: int = 0) -> List[FaultEvent]:
+    """Repeated, targeted, phase-aligned injections (the DFA scenario)."""
+    rng = random.Random(seed)
+    return [
+        FaultEvent(start + i * interval + rng.uniform(0, 5), target,
+                   sensitive_phase=True)
+        for i in range(n_events)
+    ]

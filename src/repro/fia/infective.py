@@ -1,0 +1,79 @@
+"""Detection-response countermeasures against DFA.
+
+Two classical blue-team responses wrapped around AES (paper refs [10],
+[18]): *detect-and-suppress* (temporal redundancy; mute the output on
+mismatch) and the *infective* countermeasure (never branch on
+detection — instead amplify any fault into a random-looking ciphertext,
+so the faulty output carries no exploitable differential).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..crypto import AES128
+
+
+class DetectAndSuppressAES:
+    """Temporal redundancy: encrypt twice, output only when equal.
+
+    ``encrypt_with_fault`` models an attacker faulting the *first*
+    computation; the redundant computation is clean, so any effective
+    fault is detected and the output suppressed (returns None).
+    """
+
+    def __init__(self, key: Sequence[int]) -> None:
+        self._aes = AES128(key)
+        self.detected_faults = 0
+
+    def encrypt(self, plaintext: Sequence[int]) -> List[int]:
+        """Fault-free encryption (single computation)."""
+        return self._aes.encrypt(plaintext)
+
+    def encrypt_with_fault(self, plaintext: Sequence[int],
+                           byte_index: int, fault_value: int,
+                           round_index: int = 10) -> Optional[List[int]]:
+        """Faulted encryption; returns None when detection suppresses."""
+        faulty = self._aes.encrypt_with_fault(
+            plaintext, round_index=round_index, byte_index=byte_index,
+            fault_value=fault_value)
+        redundant = self._aes.encrypt(plaintext)
+        if faulty != redundant:
+            self.detected_faults += 1
+            return None
+        return faulty
+
+
+class InfectiveAES:
+    """Infective countermeasure: faults randomize the ciphertext.
+
+    On mismatch between the two computations, the output is *infected*:
+    each differing byte is replaced by fresh randomness, destroying the
+    single-byte differential structure DFA needs while never exposing a
+    detection branch an attacker could glitch over.
+    """
+
+    def __init__(self, key: Sequence[int], seed: int = 0) -> None:
+        self._aes = AES128(key)
+        self._rng = random.Random(seed)
+        self.infections = 0
+
+    def encrypt(self, plaintext: Sequence[int]) -> List[int]:
+        """Fault-free encryption."""
+        return self._aes.encrypt(plaintext)
+
+    def encrypt_with_fault(self, plaintext: Sequence[int],
+                           byte_index: int, fault_value: int,
+                           round_index: int = 10) -> List[int]:
+        """Faulted encryption; infected (randomized) on detection."""
+        faulty = self._aes.encrypt_with_fault(
+            plaintext, round_index=round_index, byte_index=byte_index,
+            fault_value=fault_value)
+        redundant = self._aes.encrypt(plaintext)
+        if faulty == redundant:
+            return faulty
+        self.infections += 1
+        # Infect: every byte of the output becomes random, so the
+        # attacker cannot even locate the faulted byte.
+        return [self._rng.randrange(256) for _ in range(16)]

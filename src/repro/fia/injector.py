@@ -1,0 +1,78 @@
+"""Netlist-level fault injection.
+
+Faults can be *baked in* (a faulty netlist copy, for equivalence-based
+analysis) or made *controllable* (an added ``fault_en`` input arms the
+fault, so one netlist serves a whole campaign and formal queries can
+quantify over fault activation — the "automatic fault analysis" support
+of Table II's logic-synthesis row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..netlist import GateType, Netlist
+from .models import Fault, FaultKind
+
+
+def inject_fault(netlist: Netlist, fault: Fault,
+                 name: Optional[str] = None) -> Netlist:
+    """Return a copy of ``netlist`` with ``fault`` permanently applied."""
+    faulty = netlist.copy(name or f"{netlist.name}_{fault.describe()}")
+    victim = faulty.gate(fault.net)
+    if fault.kind in (FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1):
+        const = (GateType.CONST0 if fault.kind is FaultKind.STUCK_AT_0
+                 else GateType.CONST1)
+        if victim.gate_type is GateType.INPUT:
+            # Keep the port; stuck value overrides it downstream.
+            stuck = faulty.add(const, [], prefix="stuck")
+            faulty.rewire_consumers(fault.net, stuck, keep_outputs=False)
+        else:
+            victim.gate_type = const
+            victim.fanins = []
+        faulty.invalidate()
+        faulty.sweep_dangling()
+    elif fault.kind is FaultKind.BIT_FLIP:
+        healthy = fault.net
+        flipped = faulty.add(GateType.NOT, [healthy], prefix="flip")
+        faulty.rewire_consumers(healthy, flipped, keep_outputs=False)
+        # rewire_consumers also redirected the NOT gate's own fanin; fix it.
+        faulty.gate(flipped).fanins = [healthy]
+        faulty.invalidate()
+    else:
+        raise ValueError(f"unsupported fault kind {fault.kind}")
+    return faulty
+
+
+def with_fault_control(netlist: Netlist, faults: Iterable[Fault],
+                       prefix: str = "fault_en",
+                       ) -> Tuple[Netlist, Dict[Fault, str]]:
+    """Instrument the netlist with one enable input per fault.
+
+    A ``BIT_FLIP`` fault on net ``s`` becomes ``s' = s XOR enable``;
+    stuck-at faults become a MUX between the healthy value and the stuck
+    constant.  All downstream consumers see the controlled value.
+    Returns ``(instrumented netlist, fault -> enable input name)``.
+    """
+    inst = netlist.copy(netlist.name + "_fi")
+    enables: Dict[Fault, str] = {}
+    for index, fault in enumerate(faults):
+        enable = f"{prefix}{index}"
+        inst.add_input(enable)
+        healthy = fault.net
+        if fault.kind is FaultKind.BIT_FLIP:
+            controlled = inst.add(GateType.XOR, [healthy, enable],
+                                  prefix="fi_x")
+        else:
+            const = inst.add(
+                GateType.CONST0 if fault.kind is FaultKind.STUCK_AT_0
+                else GateType.CONST1, [], prefix="fi_c")
+            controlled = inst.add(GateType.MUX, [enable, healthy, const],
+                                  prefix="fi_m")
+        inst.rewire_consumers(healthy, controlled, keep_outputs=False)
+        # Undo the self-rewire of the controlled gate's own fanin.
+        g = inst.gate(controlled)
+        g.fanins = [healthy if fi == controlled else fi for fi in g.fanins]
+        inst.invalidate()
+        enables[fault] = enable
+    return inst, enables

@@ -1,0 +1,32 @@
+"""Formal engines: CDCL SAT, Tseitin encoding, equivalence, properties."""
+
+from .sat import Solver, lit, neg, var_of, UNASSIGNED
+from .cnf import CircuitEncoder, solve_circuit
+from .equivalence import EquivalenceResult, build_miter, check_equivalence
+from .glift import (
+    FlowResult,
+    glift_simulate,
+    prove_no_flow,
+    taint_reachable_outputs,
+)
+from .seq_equiv import (
+    SequentialEquivalenceResult,
+    check_sequential_equivalence,
+)
+from .properties import (
+    PropertyResult,
+    bmc_reach,
+    prove_implication,
+    prove_output_constant,
+)
+
+__all__ = [
+    "Solver", "lit", "neg", "var_of", "UNASSIGNED",
+    "CircuitEncoder", "solve_circuit",
+    "EquivalenceResult", "build_miter", "check_equivalence",
+    "FlowResult", "glift_simulate", "prove_no_flow",
+    "taint_reachable_outputs",
+    "SequentialEquivalenceResult", "check_sequential_equivalence",
+    "PropertyResult", "bmc_reach", "prove_implication",
+    "prove_output_constant",
+]

@@ -1,0 +1,145 @@
+"""CNF formulas and Tseitin encoding of netlists.
+
+:class:`CircuitEncoder` maps each net of a :class:`~repro.netlist.Netlist`
+to a SAT variable and emits the standard Tseitin clauses per gate, the
+bridge between the EDA substrate and the formal/attack engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..netlist import GateType, Netlist
+from .sat import Solver, lit, neg
+
+
+class CircuitEncoder:
+    """Encode one or more netlists into a shared :class:`Solver`.
+
+    Instantiating the same encoder over several netlists (with chosen
+    variable sharing via ``bind``) builds miters, unrolled frames, and
+    the double-circuit construction of the SAT attack.
+    """
+
+    def __init__(self, solver: Optional[Solver] = None) -> None:
+        self.solver = solver or Solver()
+
+    def fresh_var(self) -> int:
+        """A fresh solver variable (for binds and auxiliary logic)."""
+        return self.solver.new_var()
+
+    def encode(self, netlist: Netlist, prefix: str = "",
+               bind: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Encode every net; returns map ``prefix+net -> variable``.
+
+        ``bind`` pre-assigns variables to named nets (primary inputs or
+        DFF outputs), enabling input sharing across copies.
+        """
+        bind = bind or {}
+        varmap: Dict[str, int] = {}
+        add = self.solver.add_clause
+        for net in netlist.topological_order():
+            g = netlist.gates[net]
+            if net in bind:
+                varmap[net] = bind[net]
+                continue
+            v = self.solver.new_var()
+            varmap[net] = v
+            t = g.gate_type
+            out = lit(v)
+            if t is GateType.INPUT or t is GateType.DFF:
+                continue  # free variable
+            if t is GateType.CONST0:
+                add([neg(out)])
+            elif t is GateType.CONST1:
+                add([out])
+            elif t is GateType.BUF:
+                a = lit(varmap[g.fanins[0]])
+                add([neg(out), a])
+                add([out, neg(a)])
+            elif t is GateType.NOT:
+                a = lit(varmap[g.fanins[0]])
+                add([neg(out), neg(a)])
+                add([out, a])
+            elif t in (GateType.AND, GateType.NAND):
+                ins = [lit(varmap[fi]) for fi in g.fanins]
+                y = out if t is GateType.AND else neg(out)
+                for a in ins:
+                    add([neg(y), a])
+                add([y] + [neg(a) for a in ins])
+            elif t in (GateType.OR, GateType.NOR):
+                ins = [lit(varmap[fi]) for fi in g.fanins]
+                y = out if t is GateType.OR else neg(out)
+                for a in ins:
+                    add([y, neg(a)])
+                add([neg(y)] + list(ins))
+            elif t in (GateType.XOR, GateType.XNOR):
+                # Chain wide XORs through intermediates.
+                acc = lit(varmap[g.fanins[0]])
+                for fi in g.fanins[1:-1]:
+                    nxt = lit(self.solver.new_var())
+                    self._xor_clauses(acc, lit(varmap[fi]), nxt)
+                    acc = nxt
+                last = lit(varmap[g.fanins[-1]])
+                y = out if t is GateType.XOR else neg(out)
+                self._xor_clauses(acc, last, y)
+            elif t is GateType.MUX:
+                s, d0, d1 = (lit(varmap[fi]) for fi in g.fanins)
+                # out = (~s & d0) | (s & d1)
+                add([neg(out), s, d0])
+                add([neg(out), neg(s), d1])
+                add([out, s, neg(d0)])
+                add([out, neg(s), neg(d1)])
+            else:
+                raise ValueError(f"cannot encode gate type {t.name}")
+        if prefix:
+            return {prefix + net: v for net, v in varmap.items()}
+        return varmap
+
+    def _xor_clauses(self, a: int, b: int, y: int) -> None:
+        """y <-> a XOR b."""
+        add = self.solver.add_clause
+        add([neg(y), a, b])
+        add([neg(y), neg(a), neg(b)])
+        add([y, neg(a), b])
+        add([y, a, neg(b)])
+
+    def assert_equal(self, v: int, value: int) -> None:
+        """Pin a variable to a constant with a unit clause."""
+        self.solver.add_clause([lit(v, negative=(value == 0))])
+
+    def xor_of(self, va: int, vb: int) -> int:
+        """Fresh variable equal to ``va XOR vb``."""
+        y = self.solver.new_var()
+        self._xor_clauses(lit(va), lit(vb), lit(y))
+        return y
+
+    def or_of(self, variables: Sequence[int]) -> int:
+        """Fresh variable equal to the OR of ``variables``."""
+        y = self.solver.new_var()
+        add = self.solver.add_clause
+        for v in variables:
+            add([lit(y), neg(lit(v))])
+        add([neg(lit(y))] + [lit(v) for v in variables])
+        return y
+
+
+def solve_circuit(netlist: Netlist,
+                  fixed: Mapping[str, int],
+                  require: Mapping[str, int]) -> Optional[Dict[str, int]]:
+    """Find primary-input values making outputs take ``require`` values,
+    with some inputs pinned by ``fixed``.  Returns the input assignment
+    or None if impossible.
+    """
+    enc = CircuitEncoder()
+    varmap = enc.encode(netlist)
+    for net, value in fixed.items():
+        enc.assert_equal(varmap[net], value)
+    for net, value in require.items():
+        enc.assert_equal(varmap[net], value)
+    if not enc.solver.solve():
+        return None
+    return {
+        name: enc.solver.model_value(varmap[name])
+        for name in netlist.inputs
+    }

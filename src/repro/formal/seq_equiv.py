@@ -1,0 +1,128 @@
+"""Bounded sequential equivalence checking by frame unrolling.
+
+Completes the validation stage's toolbox: after DFT insertion (scan
+muxes), metering FSMs, or monitor retrofits, the *sequential* behaviour
+in mission mode must match the original design.  The check unrolls both
+machines over ``cycles`` time frames with shared free inputs (some
+pinned per frame, e.g. ``scan_en = 0``) and asks SAT for any frame
+where observable outputs diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..netlist import Netlist
+from .cnf import CircuitEncoder
+
+
+@dataclass
+class SequentialEquivalenceResult:
+    """Outcome of a bounded sequential equivalence check."""
+
+    equivalent: bool
+    cycles_checked: int
+    witness: Optional[List[Dict[str, int]]] = None   # per-frame inputs
+    mismatch_frame: Optional[int] = None
+
+
+def check_sequential_equivalence(
+    left: Netlist,
+    right: Netlist,
+    cycles: int,
+    pinned: Optional[Mapping[str, int]] = None,
+    compare_outputs: Optional[Sequence[str]] = None,
+    initial_state_zero: bool = True,
+    allow_free: Sequence[str] = (),
+) -> SequentialEquivalenceResult:
+    """Bounded equivalence of two sequential netlists.
+
+    Inputs common to both sides are shared per frame; ``pinned`` inputs
+    (on either side) are fixed to constants every frame — the mission-
+    mode environment.  Inputs existing on one side only must be pinned
+    or explicitly listed in ``allow_free`` (then the adversary/
+    environment may drive them arbitrarily per frame).
+    ``compare_outputs`` defaults to the outputs common to both.
+    """
+    pinned = dict(pinned or {})
+    free = set(allow_free)
+    shared_inputs = [
+        name for name in left.inputs
+        if name in right.gates and name not in pinned
+    ]
+    one_sided: List[str] = []
+    for side, netlist, other in (("left", left, right),
+                                 ("right", right, left)):
+        for name in netlist.inputs:
+            if name in other.gates or name in pinned:
+                continue
+            if name in free:
+                one_sided.append(name)
+                continue
+            raise ValueError(
+                f"{side} input {name!r} missing on the other side; "
+                f"pin it to a constant or list it in allow_free")
+    outputs = list(compare_outputs) if compare_outputs else [
+        o for o in left.outputs if o in right.outputs
+    ]
+    if not outputs:
+        raise ValueError("no common outputs to compare")
+
+    enc = CircuitEncoder()
+    left_state: Dict[str, int] = {}
+    right_state: Dict[str, int] = {}
+    if initial_state_zero:
+        for netlist, state in ((left, left_state), (right, right_state)):
+            for ff in netlist.flops:
+                var = enc.fresh_var()
+                enc.assert_equal(var, 0)
+                state[ff] = var
+    frame_inputs: List[Dict[str, int]] = []
+    diff_vars: List[int] = []
+    diff_frames: List[int] = []
+    for frame in range(cycles):
+        frame_shared = {name: enc.fresh_var() for name in shared_inputs}
+        frame_free = {name: enc.fresh_var() for name in one_sided}
+        frame_inputs.append({**frame_shared, **frame_free})
+        bind_left = dict(left_state)
+        bind_left.update(frame_shared)
+        bind_right = dict(right_state)
+        bind_right.update(frame_shared)
+        for name, var in frame_free.items():
+            if name in left.gates:
+                bind_left[name] = var
+            if name in right.gates:
+                bind_right[name] = var
+        for name, value in pinned.items():
+            var = enc.fresh_var()
+            enc.assert_equal(var, value)
+            if name in left.gates:
+                bind_left[name] = var
+            if name in right.gates:
+                bind_right[name] = var
+        left_vars = enc.encode(left, bind=bind_left)
+        right_vars = enc.encode(right, bind=bind_right)
+        for out in outputs:
+            diff_vars.append(enc.xor_of(left_vars[out], right_vars[out]))
+            diff_frames.append(frame)
+        left_state = {
+            ff: left_vars[left.gates[ff].fanins[0]] for ff in left.flops
+        }
+        right_state = {
+            ff: right_vars[right.gates[ff].fanins[0]]
+            for ff in right.flops
+        }
+    any_diff = enc.or_of(diff_vars)
+    enc.assert_equal(any_diff, 1)
+    if not enc.solver.solve():
+        return SequentialEquivalenceResult(True, cycles)
+    witness = [
+        {name: enc.solver.model_value(var)
+         for name, var in frame.items()}
+        for frame in frame_inputs
+    ]
+    mismatch = next(
+        (diff_frames[i] for i, dv in enumerate(diff_vars)
+         if enc.solver.model_value(dv)), None)
+    return SequentialEquivalenceResult(False, cycles, witness, mismatch)

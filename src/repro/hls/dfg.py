@@ -1,0 +1,181 @@
+"""Dataflow graphs — the high-level synthesis input.
+
+HLS (paper Sec. III-A) allocates functional units, binds operations,
+and schedules execution.  The security extensions need two things the
+classical representation lacks: *security labels* on values (secret /
+public / random) and evaluation semantics (so leakage can be simulated
+at this abstraction level before any netlist exists).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..crypto import SBOX
+
+
+class OpType(enum.Enum):
+    """Operation alphabet (8-bit datapath unless noted)."""
+
+    INPUT = "input"
+    CONST = "const"
+    ADD = "add"
+    MUL = "mul"
+    XOR = "xor"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    SBOX = "sbox"
+    MSBOX = "msbox"    # masked S-box unit: SBOX[x ^ m_in] ^ m_out
+    RAND = "rand"      # fresh random byte from the allocated RNG
+    OUTPUT = "output"
+    FLUSH = "flush"    # security op: clear a register after last use
+
+
+class Label(enum.Enum):
+    """Information-flow labels (lattice: PUBLIC < SECRET; RANDOM is the
+    masking-aware refinement that *heals* taint when XOR-ed in)."""
+
+    PUBLIC = "public"
+    SECRET = "secret"
+    RANDOM = "random"
+
+
+@dataclass
+class Operation:
+    """One DFG node."""
+
+    name: str
+    op: OpType
+    args: List[str] = field(default_factory=list)
+    value: Optional[int] = None          # for CONST
+    label: Label = Label.PUBLIC          # for INPUT/RAND sources
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+_ARITY = {
+    OpType.INPUT: 0, OpType.CONST: 0, OpType.RAND: 0,
+    OpType.ADD: 2, OpType.MUL: 2, OpType.XOR: 2, OpType.AND: 2,
+    OpType.OR: 2, OpType.NOT: 1, OpType.SBOX: 1, OpType.MSBOX: 3,
+    OpType.OUTPUT: 1, OpType.FLUSH: 1,
+}
+
+
+class Dfg:
+    """A named DAG of :class:`Operation` nodes."""
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self.ops: Dict[str, Operation] = {}
+
+    def add(self, name: str, op: OpType, args: Sequence[str] = (),
+            value: Optional[int] = None,
+            label: Label = Label.PUBLIC) -> str:
+        """Add an operation node; returns its name."""
+        if name in self.ops:
+            raise ValueError(f"duplicate op {name!r}")
+        if len(args) != _ARITY[op]:
+            raise ValueError(
+                f"{op.value} takes {_ARITY[op]} args, got {len(args)}")
+        for a in args:
+            if a not in self.ops:
+                raise ValueError(f"unknown operand {a!r}")
+        self.ops[name] = Operation(name, op, list(args), value, label)
+        return name
+
+    def inputs(self) -> List[str]:
+        """INPUT node names in insertion order."""
+        return [o.name for o in self.ops.values() if o.op is OpType.INPUT]
+
+    def randoms(self) -> List[str]:
+        """RAND (fresh randomness) node names."""
+        return [o.name for o in self.ops.values() if o.op is OpType.RAND]
+
+    def outputs(self) -> List[str]:
+        """OUTPUT node names."""
+        return [o.name for o in self.ops.values() if o.op is OpType.OUTPUT]
+
+    def consumers(self) -> Dict[str, List[str]]:
+        """Map each node to the nodes reading it."""
+        out: Dict[str, List[str]] = {name: [] for name in self.ops}
+        for op in self.ops.values():
+            for a in op.args:
+                out[a].append(op.name)
+        return out
+
+    def topological_order(self) -> List[str]:
+        """Node names in dependency order (raises on cycles)."""
+        indeg = {name: len(op.args) for name, op in self.ops.items()}
+        consumers = self.consumers()
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for c in consumers[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if len(order) != len(self.ops):
+            raise ValueError("DFG has a cycle")
+        return order
+
+    def evaluate(self, inputs: Mapping[str, int],
+                 randoms: Optional[Mapping[str, int]] = None
+                 ) -> Dict[str, int]:
+        """8-bit interpretation of every node."""
+        randoms = randoms or {}
+        values: Dict[str, int] = {}
+        for name in self.topological_order():
+            op = self.ops[name]
+            a = [values[x] for x in op.args]
+            if op.op is OpType.INPUT:
+                values[name] = inputs[name] & 0xFF
+            elif op.op is OpType.CONST:
+                values[name] = (op.value or 0) & 0xFF
+            elif op.op is OpType.RAND:
+                values[name] = randoms.get(name, 0) & 0xFF
+            elif op.op is OpType.ADD:
+                values[name] = (a[0] + a[1]) & 0xFF
+            elif op.op is OpType.MUL:
+                values[name] = (a[0] * a[1]) & 0xFF
+            elif op.op is OpType.XOR:
+                values[name] = a[0] ^ a[1]
+            elif op.op is OpType.AND:
+                values[name] = a[0] & a[1]
+            elif op.op is OpType.OR:
+                values[name] = a[0] | a[1]
+            elif op.op is OpType.NOT:
+                values[name] = (~a[0]) & 0xFF
+            elif op.op is OpType.SBOX:
+                values[name] = SBOX[a[0]]
+            elif op.op is OpType.MSBOX:
+                x, m_in, m_out = a
+                values[name] = SBOX[x ^ m_in] ^ m_out
+            elif op.op is OpType.OUTPUT:
+                values[name] = a[0]
+            elif op.op is OpType.FLUSH:
+                values[name] = 0
+            else:
+                raise ValueError(f"cannot evaluate {op.op}")
+        return values
+
+
+def aes_first_round_dfg() -> Dfg:
+    """The canonical HLS kernel: one byte of AES round 1.
+
+    ``y = SBOX[pt ^ key]`` with labeled inputs — the workload every
+    security-driven HLS experiment in this repo runs on.
+    """
+    g = Dfg("aes_round1_byte")
+    g.add("pt", OpType.INPUT, label=Label.PUBLIC)
+    g.add("key", OpType.INPUT, label=Label.SECRET)
+    g.add("ark", OpType.XOR, ["pt", "key"])
+    g.add("sb", OpType.SBOX, ["ark"])
+    g.add("ct", OpType.OUTPUT, ["sb"])
+    return g

@@ -1,0 +1,135 @@
+"""The oracle-guided SAT attack on logic locking [33, 50].
+
+The paper's Sec. III-D observation made executable: the same SAT
+machinery used to *verify* locked circuits "mimics attackers" and
+breaks them.  Algorithm (Subramanyan et al., HOST'15):
+
+1. Encode two copies of the locked circuit sharing primary inputs but
+   with independent keys ``k1``, ``k2``; assert their outputs differ.
+2. Each SAT solution is a *distinguishing input pattern* (DIP): an
+   input on which some pair of key candidates disagrees.
+3. Query the oracle (an activated chip) for the DIP's correct output;
+   constrain both key copies to reproduce it.  This eliminates every
+   key in the wrong equivalence class.
+4. UNSAT means no distinguishing input remains: any key satisfying the
+   accumulated constraints is functionally correct.  Extract one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..formal import CircuitEncoder
+from ..netlist import Netlist, output_values
+from .locking import LockedCircuit, apply_key
+
+
+@dataclass
+class SatAttackResult:
+    """Outcome of the SAT attack."""
+
+    recovered_key: Optional[Dict[str, int]]
+    iterations: int                 # number of DIPs needed
+    dips: List[Dict[str, int]] = field(default_factory=list)
+    solver_stats: Optional[Dict[str, int]] = None
+    gave_up: bool = False
+
+    @property
+    def success(self) -> bool:
+        return self.recovered_key is not None
+
+
+def sat_attack(locked_netlist: Netlist,
+               key_inputs: List[str],
+               oracle: Callable[[Mapping[str, int]], Mapping[str, int]],
+               max_iterations: int = 2000,
+               ) -> SatAttackResult:
+    """Run the oracle-guided attack against a locked netlist.
+
+    ``oracle(data_inputs) -> outputs`` models black-box access to an
+    activated chip.  Returns a functionally correct key (which may
+    differ from the designer's key bits on don't-care positions).
+    """
+    data_inputs = [i for i in locked_netlist.inputs if i not in key_inputs]
+    enc = CircuitEncoder()
+    # Shared data-input variables.
+    shared = {name: enc.fresh_var() for name in data_inputs}
+    k1 = {name: enc.fresh_var() for name in key_inputs}
+    k2 = {name: enc.fresh_var() for name in key_inputs}
+    vars1 = enc.encode(locked_netlist, bind={**shared, **k1})
+    vars2 = enc.encode(locked_netlist, bind={**shared, **k2})
+    diffs = [enc.xor_of(vars1[o], vars2[o]) for o in locked_netlist.outputs]
+    enc.assert_equal(enc.or_of(diffs), 1)
+
+    dips: List[Dict[str, int]] = []
+    responses: List[Mapping[str, int]] = []
+    for iteration in range(max_iterations):
+        sat = enc.solver.solve()
+        if sat is False:
+            break
+        if sat is None:
+            return SatAttackResult(None, iteration, dips,
+                                   enc.solver.stats(), gave_up=True)
+        dip = {name: enc.solver.model_value(var)
+               for name, var in shared.items()}
+        dips.append(dip)
+        response = oracle(dip)
+        responses.append(response)
+        # Constrain both key copies to agree with the oracle on the DIP.
+        for key_vars in (k1, k2):
+            bind = {name: _const_var(enc, value)
+                    for name, value in dip.items()}
+            bind.update(key_vars)
+            check_vars = enc.encode(locked_netlist, bind=bind)
+            for out, value in response.items():
+                enc.assert_equal(check_vars[out], value)
+    else:
+        return SatAttackResult(None, max_iterations, dips,
+                               enc.solver.stats(), gave_up=True)
+
+    # UNSAT: extract any key consistent with all recorded constraints.
+    key_solver = CircuitEncoder()
+    kvars = {name: key_solver.fresh_var() for name in key_inputs}
+    for dip, response in zip(dips, responses):
+        bind = {name: _const_var(key_solver, value)
+                for name, value in dip.items()}
+        bind.update(kvars)
+        circuit_vars = key_solver.encode(locked_netlist, bind=bind)
+        for out, value in response.items():
+            key_solver.assert_equal(circuit_vars[out], value)
+    if key_solver.solver.solve() is not True:
+        return SatAttackResult(None, len(dips), dips, enc.solver.stats(),
+                               gave_up=True)
+    key = {name: key_solver.solver.model_value(var)
+           for name, var in kvars.items()}
+    return SatAttackResult(key, len(dips), dips, enc.solver.stats())
+
+
+def _const_var(enc: CircuitEncoder, value: int) -> int:
+    var = enc.fresh_var()
+    enc.assert_equal(var, value)
+    return var
+
+
+def attack_locked_circuit(locked: LockedCircuit,
+                          max_iterations: int = 2000) -> SatAttackResult:
+    """Convenience wrapper: attack a :class:`LockedCircuit` using its own
+    correctly-keyed netlist as the activation oracle."""
+    unlocked = apply_key(locked)
+
+    def oracle(data_inputs: Mapping[str, int]) -> Mapping[str, int]:
+        return output_values(unlocked, dict(data_inputs))
+
+    return sat_attack(locked.netlist, locked.key_inputs, oracle,
+                      max_iterations=max_iterations)
+
+
+def verify_recovered_key(locked: LockedCircuit,
+                         recovered: Mapping[str, int]) -> bool:
+    """Check a recovered key is *functionally* correct via SAT equivalence."""
+    from ..formal import check_equivalence
+
+    truth = apply_key(locked)
+    candidate = apply_key(locked, dict(recovered))
+    return check_equivalence(truth, candidate).equivalent

@@ -1,0 +1,132 @@
+"""Stripped-Functionality Logic Locking, Hamming-distance flavor (SFLL-HD).
+
+The SAT-attack-resilient locking family referenced by the paper ([51]).
+The vendor strips functionality: the hardened cone inverts the original
+output whenever ``HD(x, secret) == h``; a restore unit re-inverts it
+whenever ``HD(x, key) == h``.  With ``key == secret`` the two cancel and
+function is restored.  Every wrong key corrupts only the input patterns
+at Hamming distance ``h`` from either constant — so each SAT-attack DIP
+can eliminate very few keys, pushing the attack toward ``C(n, h)``-like
+iteration counts (provable resilience), at the price of a vanishing
+functional difference (low corruption — the trade-off SFLL is known for).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist import GateType, Netlist
+from .locking import LockedCircuit
+
+
+def _popcount_equals(net: Netlist, bits: List[str], target: int,
+                     prefix: str) -> str:
+    """Net asserting popcount(bits) == target, via a shared adder tree.
+
+    Built as a small unary-threshold network: sort-free popcount using
+    full-adder reduction into a binary count, then equality compare.
+    """
+    from ..netlist.generators import full_adder
+
+    # Binary popcount via chained ripple increments (simple and small
+    # for the <= 16-bit selections used here).
+    width = max(1, len(bits).bit_length())
+    zero = net.add(GateType.CONST0, [], prefix=f"{prefix}z")
+    count = [zero] * width
+    for b_index, bit in enumerate(bits):
+        carry = bit
+        new_count = []
+        for w in range(width):
+            s = net.add(GateType.XOR, [count[w], carry],
+                        prefix=f"{prefix}s{b_index}_{w}_")
+            carry = net.add(GateType.AND, [count[w], carry],
+                            prefix=f"{prefix}c{b_index}_{w}_")
+            new_count.append(s)
+        count = new_count
+    # Equality with the constant `target`.
+    terms = []
+    for w in range(width):
+        wanted = (target >> w) & 1
+        if wanted:
+            terms.append(count[w])
+        else:
+            terms.append(net.add(GateType.NOT, [count[w]],
+                                 prefix=f"{prefix}n{w}_"))
+    if len(terms) == 1:
+        return terms[0]
+    return net.add(GateType.AND, terms, prefix=f"{prefix}eq")
+
+
+@dataclass
+class SfllCircuit:
+    """SFLL-HD protected circuit with its secret pattern."""
+
+    locked: LockedCircuit
+    secret: Tuple[int, ...]     # the protected input pattern bits
+    h: int
+    protected_output: str
+
+
+def sfll_hd_lock(netlist: Netlist, output: str,
+                 h: int = 0,
+                 n_protect_bits: Optional[int] = None,
+                 seed: int = 0) -> SfllCircuit:
+    """Apply SFLL-HD to one output of a combinational netlist.
+
+    Selects ``n_protect_bits`` primary inputs (default: all), draws a
+    secret pattern, and builds the flip + restore logic.  The key inputs
+    ``keyin*`` hold the pattern; the correct key equals the secret.
+    """
+    rng = random.Random(seed)
+    if output not in netlist.outputs:
+        raise ValueError(f"{output!r} is not a primary output")
+    base_inputs = netlist.inputs
+    n_bits = n_protect_bits or len(base_inputs)
+    if n_bits > len(base_inputs):
+        raise ValueError("cannot protect more bits than inputs")
+    protect = base_inputs[:n_bits]
+    secret = tuple(rng.randint(0, 1) for _ in range(n_bits))
+
+    host = netlist.copy(netlist.name + "_sfll")
+    key_names = []
+    key: Dict[str, int] = {}
+    for index, bit in enumerate(secret):
+        name = f"keyin{index}"
+        host.add_input(name)
+        key_names.append(name)
+        key[name] = bit
+
+    # Flip condition: HD(x, secret) == h  ==  popcount(x ^ secret) == h.
+    flip_bits = []
+    for inp, bit in zip(protect, secret):
+        if bit:
+            flip_bits.append(host.add(GateType.NOT, [inp], prefix="fx"))
+        else:
+            flip_bits.append(inp)
+    flip = _popcount_equals(host, flip_bits, h, "flip_")
+
+    # Restore condition: HD(x, key) == h.
+    restore_bits = [
+        host.add(GateType.XNOR, [inp, key_names[i]], prefix="rx")
+        for i, inp in enumerate(protect)
+    ]
+    # XNOR gives equality; we need difference bits -> invert.
+    restore_bits = [
+        host.add(GateType.NOT, [b], prefix="rn") for b in restore_bits
+    ]
+    restore = _popcount_equals(host, restore_bits, h, "rest_")
+
+    # y_protected = y XOR flip XOR restore, keeping the port name.
+    original_driver = host.gates[output]
+    inner = host.new_name("sfll_core")
+    host.gates[inner] = type(original_driver)(
+        inner, original_driver.gate_type, list(original_driver.fanins))
+    corrected = host.add(GateType.XOR, [inner, flip], prefix="sf_f")
+    corrected = host.add(GateType.XOR, [corrected, restore], prefix="sf_r")
+    original_driver.gate_type = GateType.BUF
+    original_driver.fanins = [corrected]
+    host.invalidate()
+    locked = LockedCircuit(host, key, scheme=f"sfll-hd{h}")
+    return SfllCircuit(locked, secret, h, output)

@@ -1,0 +1,92 @@
+"""Constraint-based IP watermarking.
+
+An anti-counterfeiting scheme from the paper's Sec. II-A.3: the
+designer embeds an author signature as functionally-invisible structural
+choices.  Here each signature bit selects one of two equivalent
+implementations of an inserted buffer pair — bit 0: ``BUF(BUF(x))``,
+bit 1: ``NOT(NOT(x))`` — on deterministic, key-derived nets.  Detection
+walks the netlist and reads the variants back; a resynthesis robustness
+check shows the classical weakness (optimization erases watermarks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..netlist import GateType, Netlist
+
+
+@dataclass
+class Watermark:
+    """Record of an embedded signature."""
+
+    signature: str
+    bits: List[int]
+    sites: List[str]           # nets carrying the marked pairs
+    marker_prefix: str = "wm"
+
+
+def _signature_bits(signature: str, n_bits: int) -> List[int]:
+    digest = hashlib.sha256(signature.encode()).digest()
+    bits = []
+    for i in range(n_bits):
+        bits.append((digest[i // 8] >> (i % 8)) & 1)
+    return bits
+
+
+def embed_watermark(netlist: Netlist, signature: str,
+                    n_bits: int = 16, seed: int = 0) -> Watermark:
+    """Embed ``n_bits`` of the signature hash into the netlist in place."""
+    rng = random.Random(seed)
+    candidates = [
+        g.name for g in netlist.gates.values()
+        if g.gate_type.is_combinational and not g.gate_type.is_source
+        and g.name not in netlist.outputs
+    ]
+    if n_bits > len(candidates):
+        raise ValueError("not enough sites for the watermark")
+    sites = rng.sample(candidates, n_bits)
+    bits = _signature_bits(signature, n_bits)
+    for index, (site, bit) in enumerate(zip(sites, bits)):
+        first_type = GateType.BUF if bit == 0 else GateType.NOT
+        second_type = first_type
+        first = netlist.add_gate(f"wm{index}_a", first_type, [site])
+        second = netlist.add_gate(f"wm{index}_b", second_type, [first])
+        netlist.rewire_consumers(site, second, keep_outputs=False)
+        g = netlist.gates[first]
+        g.fanins = [site]
+        netlist.invalidate()
+    return Watermark(signature, bits, sites)
+
+
+def extract_watermark(netlist: Netlist, n_bits: int = 16
+                      ) -> Optional[List[int]]:
+    """Read the signature bits back from the marker pairs.
+
+    Returns None when any marker pair is missing (e.g. optimized away).
+    """
+    bits: List[int] = []
+    for index in range(n_bits):
+        a = netlist.gates.get(f"wm{index}_a")
+        b = netlist.gates.get(f"wm{index}_b")
+        if a is None or b is None or a.gate_type is not b.gate_type:
+            return None
+        if a.gate_type is GateType.BUF:
+            bits.append(0)
+        elif a.gate_type is GateType.NOT:
+            bits.append(1)
+        else:
+            return None
+    return bits
+
+
+def verify_watermark(netlist: Netlist, signature: str,
+                     n_bits: int = 16) -> bool:
+    """Does the netlist carry this signature?"""
+    extracted = extract_watermark(netlist, n_bits)
+    if extracted is None:
+        return False
+    return extracted == _signature_bits(signature, n_bits)

@@ -1,0 +1,61 @@
+"""Gate-level netlist substrate: IR, simulation, BENCH I/O, generators, PPA."""
+
+from .gates import GateType, evaluate, check_arity
+from .netlist import Gate, Netlist, NetlistError, cone_extract
+from .simulate import (
+    simulate,
+    output_values,
+    step_sequential,
+    run_sequential,
+    pack_patterns,
+    unpack_word,
+    random_stimulus,
+    encode_int,
+    decode_int,
+    toggle_counts,
+    exhaustive_truth_table,
+)
+from .bench import load, loads, dump, dumps
+from .generators import (
+    c17,
+    full_adder,
+    ripple_carry_adder,
+    array_multiplier,
+    equality_comparator,
+    parity_tree,
+    random_circuit,
+    from_truth_table,
+    from_truth_tables,
+)
+from .verilog import (
+    dump_verilog,
+    dumps_verilog,
+    load_verilog,
+    loads_verilog,
+)
+from .metrics import (
+    CellCost,
+    DEFAULT_COSTS,
+    PPAReport,
+    area,
+    arrival_times,
+    critical_path_delay,
+    leakage_power,
+    count_by_type,
+    ppa_report,
+)
+
+__all__ = [
+    "GateType", "evaluate", "check_arity",
+    "Gate", "Netlist", "NetlistError", "cone_extract",
+    "simulate", "output_values", "step_sequential", "run_sequential",
+    "pack_patterns", "unpack_word", "random_stimulus",
+    "encode_int", "decode_int", "toggle_counts", "exhaustive_truth_table",
+    "load", "loads", "dump", "dumps",
+    "dump_verilog", "dumps_verilog", "load_verilog", "loads_verilog",
+    "c17", "full_adder", "ripple_carry_adder", "array_multiplier",
+    "equality_comparator", "parity_tree", "random_circuit",
+    "from_truth_table", "from_truth_tables",
+    "CellCost", "DEFAULT_COSTS", "PPAReport", "area", "arrival_times",
+    "critical_path_delay", "leakage_power", "count_by_type", "ppa_report",
+]

@@ -1,0 +1,140 @@
+"""Gate primitives for the gate-level netlist intermediate representation.
+
+Every combinational cell is one of the :class:`GateType` members below.
+Evaluation is *bit-parallel*: signal values are Python integers treated as
+packed vectors of ``width`` independent simulation patterns, so a single
+pass over the netlist simulates up to thousands of patterns at once.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    """Cell types supported by the netlist IR.
+
+    ``INPUT`` marks a primary input, ``DFF`` a D flip-flop (its single
+    fanin is the D pin; its output is the current state).  All other
+    members are combinational cells.  ``AND``/``OR``/``XOR`` and their
+    complements accept two or more fanins; ``BUF``/``NOT`` exactly one;
+    ``MUX`` exactly three (select, data0, data1).
+    """
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"
+    DFF = "dff"
+
+    @property
+    def is_inverting(self) -> bool:
+        """True for cells whose output is the complement of a base function."""
+        return self in _INVERTING
+
+    @property
+    def base(self) -> "GateType":
+        """The non-inverting counterpart (NAND -> AND, NOT -> BUF, ...)."""
+        return _BASE_OF.get(self, self)
+
+    @property
+    def is_combinational(self) -> bool:
+        return self not in (GateType.INPUT, GateType.DFF)
+
+    @property
+    def is_source(self) -> bool:
+        """True for cells with no required fanin (inputs and constants)."""
+        return self in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+
+
+_INVERTING = frozenset(
+    {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+)
+_BASE_OF = {
+    GateType.NOT: GateType.BUF,
+    GateType.NAND: GateType.AND,
+    GateType.NOR: GateType.OR,
+    GateType.XNOR: GateType.XOR,
+}
+
+#: Gate types accepting two or more fanins.
+VARIADIC_TYPES = frozenset(
+    {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+     GateType.XOR, GateType.XNOR}
+)
+
+#: Exact fanin arity for fixed-arity types (None entries are variadic).
+FIXED_ARITY = {
+    GateType.INPUT: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.MUX: 3,
+    GateType.DFF: 1,
+}
+
+
+def check_arity(gate_type: GateType, n_fanins: int) -> None:
+    """Raise ``ValueError`` if ``n_fanins`` is illegal for ``gate_type``."""
+    if gate_type in VARIADIC_TYPES:
+        if n_fanins < 2:
+            raise ValueError(
+                f"{gate_type.name} requires >=2 fanins, got {n_fanins}"
+            )
+        return
+    expected = FIXED_ARITY[gate_type]
+    if n_fanins != expected:
+        raise ValueError(
+            f"{gate_type.name} requires exactly {expected} fanins, "
+            f"got {n_fanins}"
+        )
+
+
+def evaluate(gate_type: GateType, fanin_values: Sequence[int], mask: int) -> int:
+    """Evaluate one gate over bit-parallel operand words.
+
+    ``mask`` is ``(1 << width) - 1`` for a ``width``-pattern simulation and
+    bounds the result of inverting operations.
+
+    ``INPUT`` and ``DFF`` cannot be evaluated here: their values come from
+    the stimulus / state, not from fanins.
+    """
+    t = gate_type
+    v = fanin_values
+    if t is GateType.CONST0:
+        return 0
+    if t is GateType.CONST1:
+        return mask
+    if t is GateType.BUF:
+        return v[0]
+    if t is GateType.NOT:
+        return ~v[0] & mask
+    if t is GateType.AND or t is GateType.NAND:
+        out = v[0]
+        for x in v[1:]:
+            out &= x
+        return out if t is GateType.AND else ~out & mask
+    if t is GateType.OR or t is GateType.NOR:
+        out = v[0]
+        for x in v[1:]:
+            out |= x
+        return out if t is GateType.OR else ~out & mask
+    if t is GateType.XOR or t is GateType.XNOR:
+        out = v[0]
+        for x in v[1:]:
+            out ^= x
+        return out if t is GateType.XOR else ~out & mask
+    if t is GateType.MUX:
+        sel, d0, d1 = v
+        return ((~sel & d0) | (sel & d1)) & mask
+    raise ValueError(f"cannot evaluate {t.name} combinationally")

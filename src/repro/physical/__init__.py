@@ -1,0 +1,37 @@
+"""Physical synthesis: placement, wire-aware timing, layer assignment."""
+
+from .placement import (
+    Placement,
+    PlacementResult,
+    annealing_placement,
+    hpwl,
+    nets_for_wirelength,
+    random_placement,
+)
+from .timing import (
+    PathDelayReport,
+    WIRE_DELAY_PER_UNIT,
+    arrival_times_placed,
+    critical_path_placed,
+    ir_drop_ok,
+    output_path_delays,
+    power_density_map,
+    wire_delay,
+)
+from .layers import (
+    DEFAULT_THRESHOLDS,
+    Wire,
+    assign_layers,
+    layer_histogram,
+    split_wires,
+)
+
+__all__ = [
+    "Placement", "PlacementResult", "annealing_placement", "hpwl",
+    "nets_for_wirelength", "random_placement",
+    "PathDelayReport", "WIRE_DELAY_PER_UNIT", "arrival_times_placed",
+    "critical_path_placed", "ir_drop_ok", "output_path_delays",
+    "power_density_map", "wire_delay",
+    "DEFAULT_THRESHOLDS", "Wire", "assign_layers", "layer_histogram",
+    "split_wires",
+]

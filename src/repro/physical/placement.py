@@ -1,0 +1,180 @@
+"""Cell placement on a grid die.
+
+Physical synthesis (paper Sec. III-C) is where security meets geometry:
+split manufacturing, sensor coverage, and proximity attacks are all
+defined on cell locations.  This module provides a half-perimeter
+wirelength (HPWL) objective and a simulated-annealing placer — the
+classical PnR core, deliberately security-unaware so the security
+passes in :mod:`repro.ip.split` have realistic layout hints to attack
+and to dissolve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..netlist import GateType, Netlist
+
+Point = Tuple[int, int]
+
+
+@dataclass
+class Placement:
+    """Cell coordinates on an integer grid."""
+
+    positions: Dict[str, Point]
+    width: int
+    height: int
+
+    def location(self, cell: str) -> Point:
+        """Grid coordinates of ``cell``."""
+        return self.positions[cell]
+
+    def distance(self, cell_a: str, cell_b: str) -> float:
+        """Manhattan distance between two placed cells."""
+        (xa, ya), (xb, yb) = self.positions[cell_a], self.positions[cell_b]
+        return abs(xa - xb) + abs(ya - yb)
+
+    def copy(self) -> "Placement":
+        """Independent copy (positions dict is duplicated)."""
+        return Placement(dict(self.positions), self.width, self.height)
+
+
+def _placeable_cells(netlist: Netlist) -> List[str]:
+    return [
+        g.name for g in netlist.gates.values()
+        if g.gate_type not in (GateType.CONST0, GateType.CONST1)
+    ]
+
+
+def random_placement(netlist: Netlist, width: Optional[int] = None,
+                     height: Optional[int] = None,
+                     seed: int = 0) -> Placement:
+    """Uniform random legal placement (one cell per site)."""
+    cells = _placeable_cells(netlist)
+    if width is None or height is None:
+        side = max(2, math.ceil(math.sqrt(len(cells) * 1.5)))
+        width = width or side
+        height = height or side
+    if width * height < len(cells):
+        raise ValueError("die too small for the cell count")
+    rng = random.Random(seed)
+    sites = [(x, y) for x in range(width) for y in range(height)]
+    rng.shuffle(sites)
+    return Placement(dict(zip(cells, sites)), width, height)
+
+
+def nets_for_wirelength(netlist: Netlist) -> List[List[str]]:
+    """One multi-pin net per driver: [driver, consumer1, ...]."""
+    fanout = netlist.fanout_map()
+    nets = []
+    for driver, consumers in fanout.items():
+        if not consumers:
+            continue
+        if netlist.gates[driver].gate_type in (GateType.CONST0,
+                                               GateType.CONST1):
+            continue
+        nets.append([driver] + consumers)
+    return nets
+
+
+def hpwl(placement: Placement, nets: Iterable[List[str]]) -> float:
+    """Total half-perimeter wirelength over multi-pin nets."""
+    total = 0.0
+    pos = placement.positions
+    for net in nets:
+        xs = [pos[c][0] for c in net if c in pos]
+        ys = [pos[c][1] for c in net if c in pos]
+        if len(xs) < 2:
+            continue
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+@dataclass
+class PlacementResult:
+    placement: Placement
+    initial_hpwl: float
+    final_hpwl: float
+    moves_accepted: int
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_hpwl == 0:
+            return 0.0
+        return 1.0 - self.final_hpwl / self.initial_hpwl
+
+
+def annealing_placement(netlist: Netlist,
+                        iterations: int = 20_000,
+                        seed: int = 0,
+                        width: Optional[int] = None,
+                        height: Optional[int] = None,
+                        initial_temperature: float = 4.0,
+                        ) -> PlacementResult:
+    """Simulated-annealing placement minimizing HPWL.
+
+    Moves are cell swaps / relocations to empty sites; temperature
+    follows a geometric schedule.  Incremental cost evaluation keeps
+    this fast enough for a few thousand cells.
+    """
+    rng = random.Random(seed)
+    placement = random_placement(netlist, width, height, seed)
+    nets = nets_for_wirelength(netlist)
+    cells = list(placement.positions)
+    # Per-cell net membership for incremental evaluation.
+    nets_of: Dict[str, List[int]] = {c: [] for c in cells}
+    for idx, net in enumerate(nets):
+        for c in net:
+            if c in nets_of:
+                nets_of[c].append(idx)
+
+    def net_cost(indices: Iterable[int]) -> float:
+        pos = placement.positions
+        total = 0.0
+        for i in set(indices):
+            net = nets[i]
+            xs = [pos[c][0] for c in net]
+            ys = [pos[c][1] for c in net]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    occupied: Dict[Point, str] = {p: c for c, p in placement.positions.items()}
+    all_sites = [(x, y) for x in range(placement.width)
+                 for y in range(placement.height)]
+    initial = hpwl(placement, nets)
+    temperature = initial_temperature
+    cooling = 0.995 ** (20000 / max(1, iterations))
+    accepted = 0
+    for _ in range(iterations):
+        cell = rng.choice(cells)
+        target = rng.choice(all_sites)
+        other = occupied.get(target)
+        affected = list(nets_of[cell])
+        if other is not None:
+            affected += nets_of[other]
+        before = net_cost(affected)
+        old_pos = placement.positions[cell]
+        placement.positions[cell] = target
+        if other is not None:
+            placement.positions[other] = old_pos
+        after = net_cost(affected)
+        delta = after - before
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature,
+                                                              1e-9)):
+            accepted += 1
+            occupied[target] = cell
+            if other is not None:
+                occupied[old_pos] = other
+            else:
+                del occupied[old_pos]
+        else:
+            placement.positions[cell] = old_pos
+            if other is not None:
+                placement.positions[other] = target
+        temperature *= cooling
+    final = hpwl(placement, nets)
+    return PlacementResult(placement, initial, final, accepted)

@@ -1,0 +1,88 @@
+"""Leakage localization: identify *which gates* leak.
+
+Table II lists "identification of leaking gates" as a logic-synthesis
+stage scheme.  Whole-trace TVLA says *whether* a design leaks; this
+module runs the same fixed-vs-random Welch test per net, so the
+security-enforcing designer (paper Sec. III-E) can trace the leakage to
+its origin and fix it — the key pre-silicon advantage over measuring
+finished ICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..netlist import Netlist, simulate
+from .power_model import _word_to_bits
+from .tvla import TVLA_THRESHOLD, welch_t
+
+
+@dataclass
+class NetLeakage:
+    """Per-net leakage assessment entry."""
+
+    net: str
+    t_statistic: float
+    level: int
+
+    @property
+    def leaks(self) -> bool:
+        return abs(self.t_statistic) > TVLA_THRESHOLD
+
+
+def per_net_values(netlist: Netlist,
+                   stimuli: Sequence[Mapping[str, int]]) -> Dict[str, np.ndarray]:
+    """Bit matrix of every net's value across a stimulus batch."""
+    width = len(stimuli)
+    packed: Dict[str, int] = {name: 0 for name in netlist.inputs}
+    for position, stim in enumerate(stimuli):
+        for name in netlist.inputs:
+            if stim.get(name, 0) & 1:
+                packed[name] |= 1 << position
+    values = simulate(netlist, packed, width)
+    return {net: _word_to_bits(word, width) for net, word in values.items()}
+
+
+def locate_leaking_nets(netlist: Netlist,
+                        fixed_stimuli: Sequence[Mapping[str, int]],
+                        random_stimuli: Sequence[Mapping[str, int]],
+                        noise_sigma: float = 0.01,
+                        seed: int = 0) -> List[NetLeakage]:
+    """Per-net fixed-vs-random t-test, most leaky nets first.
+
+    Primary inputs are excluded: they trivially differ between classes.
+    A tiny noise floor keeps the t-statistic finite on constant nets.
+    """
+    rng = np.random.default_rng(seed)
+    fixed_bits = per_net_values(netlist, fixed_stimuli)
+    random_bits = per_net_values(netlist, random_stimuli)
+    levels = netlist.levels()
+    inputs = set(netlist.inputs)
+    results: List[NetLeakage] = []
+    for net in netlist.gates:
+        if net in inputs:
+            continue
+        a = fixed_bits[net].astype(float)[:, None]
+        b = random_bits[net].astype(float)[:, None]
+        a = a + rng.normal(0.0, noise_sigma, a.shape)
+        b = b + rng.normal(0.0, noise_sigma, b.shape)
+        t = float(welch_t(a, b)[0])
+        results.append(NetLeakage(net=net, t_statistic=t, level=levels[net]))
+    results.sort(key=lambda r: -abs(r.t_statistic))
+    return results
+
+
+def leaking_gate_report(results: Sequence[NetLeakage],
+                        limit: int = 10) -> str:
+    """Human-readable summary for flow reports."""
+    lines = [f"{'net':<20} {'|t|':>8}  level  verdict"]
+    for entry in list(results)[:limit]:
+        verdict = "LEAKS" if entry.leaks else "ok"
+        lines.append(
+            f"{entry.net:<20} {abs(entry.t_statistic):>8.2f}  "
+            f"{entry.level:>5}  {verdict}"
+        )
+    return "\n".join(lines)

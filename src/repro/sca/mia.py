@@ -1,0 +1,117 @@
+"""Mutual Information Analysis (MIA) — the information-theoretic
+distinguisher.
+
+The paper (Sec. III-C) contrasts TVLA's statistical assumptions with
+"information-theoretic procedures [that] bound that error using fewer
+statistical assumptions" at higher computational cost.  MIA is that
+procedure as a key-recovery distinguisher: rank key guesses by the
+estimated mutual information between the trace samples and the
+predicted intermediate, with no linearity assumption between leakage
+and model (unlike CPA's Pearson correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..crypto import SBOX
+from .power_model import HW8
+
+
+def mutual_information(samples: np.ndarray, labels: np.ndarray,
+                       n_bins: int = 9) -> float:
+    """Plug-in MI estimate (bits) between a 1-D sample and labels.
+
+    Samples are histogram-binned; labels are discrete.  The plug-in
+    estimator is biased upward for small N — callers compare guesses
+    against each other, where the bias largely cancels.
+    """
+    samples = np.asarray(samples, dtype=float)
+    labels = np.asarray(labels)
+    edges = np.histogram_bin_edges(samples, bins=n_bins)
+    binned = np.clip(np.digitize(samples, edges[1:-1]), 0, n_bins - 1)
+    classes = np.unique(labels)
+    n = len(samples)
+    joint = np.zeros((len(classes), n_bins))
+    for i, c in enumerate(classes):
+        mask = labels == c
+        for b in range(n_bins):
+            joint[i, b] = np.sum(binned[mask] == b)
+    joint /= n
+    p_label = joint.sum(axis=1, keepdims=True)
+    p_bin = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = joint / (p_label @ p_bin)
+        terms = np.where(joint > 0, joint * np.log2(ratio), 0.0)
+    return float(terms.sum())
+
+
+@dataclass
+class MiaResult:
+    """MIA key-recovery outcome."""
+
+    scores: np.ndarray         # (n_keys,) peak MI per guess
+    ranking: List[int]
+    best_key: int
+    best_mi: float
+
+    def rank_of(self, true_key: int) -> int:
+        """Position of the true key in the MI ranking (0 = recovered)."""
+        return self.ranking.index(true_key)
+
+
+def mia_attack(traces: np.ndarray, plaintexts: Sequence[int],
+               hypothesis: Optional[Callable[[np.ndarray, int],
+                                             np.ndarray]] = None,
+               n_keys: int = 256,
+               n_bins: int = 9) -> MiaResult:
+    """Recover a key byte by maximizing sample/model mutual information.
+
+    ``hypothesis(plaintexts, key)`` gives the predicted discrete
+    intermediate per trace (default: HW of the first-round AES S-box
+    output).  For each guess, the peak MI across trace samples is the
+    score.
+    """
+    traces = np.asarray(traces, dtype=float)
+    pts = np.asarray(plaintexts, dtype=np.int64)
+    if traces.ndim != 2 or len(pts) != len(traces):
+        raise ValueError("traces must be (n, samples) aligned with pts")
+    if hypothesis is None:
+        sbox = np.asarray(SBOX, dtype=np.int64)
+
+        def hypothesis(p, k):
+            return HW8[sbox[np.bitwise_xor(p, k)]]
+
+    scores = np.zeros(n_keys)
+    for key in range(n_keys):
+        labels = hypothesis(pts, key)
+        best = 0.0
+        for sample in range(traces.shape[1]):
+            best = max(best, mutual_information(traces[:, sample],
+                                                labels, n_bins))
+        scores[key] = best
+    ranking = [int(k) for k in np.argsort(-scores)]
+    return MiaResult(
+        scores=scores,
+        ranking=ranking,
+        best_key=ranking[0],
+        best_mi=float(scores[ranking[0]]),
+    )
+
+
+def perceived_information_gap(traces: np.ndarray,
+                              plaintexts: Sequence[int],
+                              true_key: int,
+                              n_bins: int = 9) -> float:
+    """MI(trace; true-key model) minus the mean over wrong keys.
+
+    A direct information-theoretic leakage certificate: positive gap =
+    the traces carry key-dependent information an attacker can exploit;
+    ~zero = no first-order information at this estimator resolution.
+    """
+    result = mia_attack(traces, plaintexts, n_bins=n_bins)
+    wrong = [result.scores[k] for k in range(256) if k != true_key]
+    return float(result.scores[true_key] - np.mean(wrong))

@@ -1,0 +1,65 @@
+"""Leakage simulation for sequential designs (register-dominated power).
+
+Synchronous designs leak predominantly through register switching: each
+clock edge, the power sample is proportional to the Hamming distance of
+the state registers (plus a value-weight term and noise).  This module
+produces per-cycle traces for multi-cycle stimuli, enabling CPA/TVLA
+against real datapaths like the gate-level AES of
+:mod:`repro.crypto.aes_netlist` — the pre-silicon equivalent of probing
+a crypto core's VDD pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..netlist import Netlist, step_sequential
+
+
+def sequential_power_trace(netlist: Netlist,
+                           input_sequence: Sequence[Mapping[str, int]],
+                           hd_weight: float = 1.0,
+                           hw_weight: float = 0.2,
+                           initial_state: Optional[Mapping[str, int]]
+                           = None) -> np.ndarray:
+    """Noise-free per-cycle power of one run.
+
+    Sample ``t`` covers the clock edge ending cycle ``t``:
+    ``hd_weight * HD(state_t, state_{t+1}) + hw_weight * HW(state_{t+1})``.
+    """
+    state: Dict[str, int] = dict(initial_state or {})
+    flops = netlist.flops
+    samples: List[float] = []
+    for stimulus in input_sequence:
+        _, next_state = step_sequential(netlist, stimulus, state)
+        hd = sum(
+            1 for ff in flops
+            if (state.get(ff, 0) ^ next_state[ff]) & 1
+        )
+        hw = sum(next_state[ff] & 1 for ff in flops)
+        samples.append(hd_weight * hd + hw_weight * hw)
+        state = next_state
+    return np.array(samples)
+
+
+def sequential_leakage_traces(netlist: Netlist,
+                              runs: Sequence[Sequence[Mapping[str, int]]],
+                              noise_sigma: float = 1.0,
+                              seed: int = 0,
+                              hd_weight: float = 1.0,
+                              hw_weight: float = 0.2) -> np.ndarray:
+    """Trace matrix (n_runs, n_cycles) for a batch of input sequences."""
+    traces = [
+        sequential_power_trace(netlist, run, hd_weight, hw_weight)
+        for run in runs
+    ]
+    width = max(len(t) for t in traces)
+    matrix = np.zeros((len(traces), width))
+    for i, t in enumerate(traces):
+        matrix[i, :len(t)] = t
+    if noise_sigma > 0:
+        rng = np.random.default_rng(seed)
+        matrix = matrix + rng.normal(0.0, noise_sigma, matrix.shape)
+    return matrix

@@ -1,0 +1,96 @@
+"""Synthesis flow driver: ordered passes with verification and reporting.
+
+``SynthesisFlow`` is the logic-synthesis stage of the classical EDA flow
+(paper Fig. 1).  It optimizes purely for PPA; the security-aware wrapper
+in :mod:`repro.core.flow` adds the checks this stage classically lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..netlist import Netlist, exhaustive_truth_table, ppa_report
+from ..netlist.metrics import PPAReport
+from .library import CellLibrary
+from .passes import (
+    BufferSweep,
+    ConstantPropagation,
+    DeadGateSweep,
+    DoubleInversionElimination,
+    PassReport,
+    StructuralHashing,
+    SynthesisPass,
+)
+from .techmap import map_to_library
+
+
+@dataclass
+class SynthesisResult:
+    """Netlist plus the per-pass trace and before/after PPA."""
+
+    netlist: Netlist
+    pass_reports: List[PassReport] = field(default_factory=list)
+    ppa_before: Optional[PPAReport] = None
+    ppa_after: Optional[PPAReport] = None
+
+    @property
+    def area_reduction(self) -> float:
+        if not self.ppa_before or not self.ppa_before.area:
+            return 0.0
+        return 1.0 - self.ppa_after.area / self.ppa_before.area
+
+
+def default_passes() -> List[SynthesisPass]:
+    """The standard PPA-optimization pass order."""
+    return [
+        ConstantPropagation(),
+        DoubleInversionElimination(),
+        BufferSweep(),
+        StructuralHashing(),
+        DeadGateSweep(),
+    ]
+
+
+class SynthesisFlow:
+    """Run optimization passes (optionally iterated) and tech mapping."""
+
+    def __init__(self, passes: Optional[Sequence[SynthesisPass]] = None,
+                 library: Optional[CellLibrary] = None,
+                 iterations: int = 2) -> None:
+        self.passes = list(passes) if passes is not None else default_passes()
+        self.library = library
+        self.iterations = iterations
+
+    def run(self, netlist: Netlist, in_place: bool = False,
+            verify: bool = False) -> SynthesisResult:
+        """Optimize ``netlist``; optionally verify functional equivalence
+        by exhaustive simulation (only feasible for small input counts).
+        """
+        golden = None
+        if verify:
+            golden = {
+                out: exhaustive_truth_table(netlist, out)
+                for out in netlist.outputs
+            }
+        work = netlist if in_place else netlist.copy()
+        result = SynthesisResult(work, ppa_before=ppa_report(netlist))
+        for _ in range(self.iterations):
+            for synthesis_pass in self.passes:
+                result.pass_reports.append(synthesis_pass(work))
+        if self.library is not None:
+            map_to_library(work, self.library)
+        result.ppa_after = ppa_report(work)
+        if verify:
+            for out, table in golden.items():
+                if exhaustive_truth_table(work, out) != table:
+                    raise AssertionError(
+                        f"synthesis changed the function of output {out!r}"
+                    )
+        return result
+
+
+def synthesize(netlist: Netlist, library: Optional[CellLibrary] = None,
+               verify: bool = False) -> Netlist:
+    """One-call synthesis: optimize and (optionally) map; returns new netlist."""
+    return SynthesisFlow(library=library).run(netlist, verify=verify).netlist

@@ -1,0 +1,81 @@
+"""Hardware-Trojan taxonomy (paper Sec. II-A.4, ref [13]).
+
+The paper classifies Trojans by (i) abstraction level, (ii) intent
+(leak, degrade, disrupt), and (iii) activation (always-on, internally
+or externally triggered).  The dataclasses here carry that metadata so
+campaigns and reports can slice results the way the paper's Table I
+discusses roles for EDA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AbstractionLevel(enum.Enum):
+    """Where in the design hierarchy the Trojan lives."""
+
+    SYSTEM = "system"
+    RTL = "rtl"
+    GATE = "gate"
+    PHYSICAL = "physical"
+
+
+class TrojanIntent(enum.Enum):
+    """What the Trojan is built to do."""
+
+    LEAK_INFORMATION = "leak"
+    DEGRADE_PERFORMANCE = "degrade"
+    DENIAL_OF_SERVICE = "disrupt"
+
+
+class Activation(enum.Enum):
+    """How the Trojan turns on."""
+
+    ALWAYS_ON = "always_on"
+    INTERNAL_TRIGGER = "internal"
+    EXTERNAL_TRIGGER = "external"
+
+
+@dataclass(frozen=True)
+class TrojanClass:
+    """One point in the Trojan design space."""
+
+    name: str
+    level: AbstractionLevel
+    intent: TrojanIntent
+    activation: Activation
+    insertion_point: str        # e.g. "design", "fabrication"
+    description: str = ""
+
+
+#: Representative catalogue used in reports and examples.
+CATALOGUE = (
+    TrojanClass(
+        "rare-trigger-flip", AbstractionLevel.GATE,
+        TrojanIntent.DENIAL_OF_SERVICE, Activation.INTERNAL_TRIGGER,
+        "design",
+        "AND of rare internal values flips a payload net "
+        "(the MERO benchmark Trojan).",
+    ),
+    TrojanClass(
+        "key-leaker", AbstractionLevel.GATE,
+        TrojanIntent.LEAK_INFORMATION, Activation.INTERNAL_TRIGGER,
+        "design",
+        "Muxes a key bit onto an observable output under a trigger.",
+    ),
+    TrojanClass(
+        "delay-parasite", AbstractionLevel.PHYSICAL,
+        TrojanIntent.DEGRADE_PERFORMANCE, Activation.ALWAYS_ON,
+        "fabrication",
+        "Extra load on a critical net; caught by delay fingerprinting.",
+    ),
+    TrojanClass(
+        "leakage-parasite", AbstractionLevel.PHYSICAL,
+        TrojanIntent.LEAK_INFORMATION, Activation.ALWAYS_ON,
+        "fabrication",
+        "Dormant logic raising regional IDDQ; caught by supply-pad "
+        "current analysis.",
+    ),
+)

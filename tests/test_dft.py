@@ -1,0 +1,243 @@
+"""Tests for the DFT substrate: scan, ATPG, BIST, scan attack, DFX."""
+
+import random
+
+import pytest
+
+from repro.dft import (
+    ChipState,
+    DfxController,
+    Lfsr,
+    Misr,
+    ScanChipModel,
+    bist_detects_fault,
+    compact_vectors,
+    generate_test_for_fault,
+    grade_vectors,
+    insert_scan,
+    run_atpg,
+    run_bist,
+    scan_attack,
+    scan_capture,
+    scan_load,
+    scan_unload,
+)
+from repro.dft import test_access_still_works as scan_test_access
+from repro.fia import Fault, FaultKind, attack_fault_stream, inject_fault, \
+    natural_fault_stream
+from repro.netlist import GateType, Netlist, c17, random_circuit
+
+
+def sequential_example():
+    n = Netlist("seq")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("q0", GateType.DFF, ["d0"])
+    n.add_gate("q1", GateType.DFF, ["d1"])
+    n.add_gate("q2", GateType.DFF, ["d2"])
+    n.add_gate("d0", GateType.XOR, ["a", "q2"])
+    n.add_gate("d1", GateType.AND, ["q0", "b"])
+    n.add_gate("d2", GateType.OR, ["q1", "a"])
+    n.add_gate("y", GateType.XOR, ["q0", "q1"])
+    n.add_output("y")
+    return n
+
+
+class TestScan:
+    def test_insertion_requires_flops(self):
+        with pytest.raises(ValueError):
+            insert_scan(c17())
+
+    def test_load_unload_roundtrip(self):
+        design = insert_scan(sequential_example())
+        for bits in ([0, 0, 0], [1, 1, 1], [1, 0, 1], [0, 1, 0]):
+            state = scan_load(design, bits)
+            out, _ = scan_unload(design, state)
+            assert out == bits
+
+    def test_wrong_length_rejected(self):
+        design = insert_scan(sequential_example())
+        with pytest.raises(ValueError):
+            scan_load(design, [1, 0])
+
+    def test_capture_computes_functional_state(self):
+        design = insert_scan(sequential_example())
+        state = scan_load(design, [1, 1, 0])
+        captured = scan_capture(design, {"a": 1, "b": 1}, state)
+        # d0 = a ^ q2 = 1 ^ 0; d1 = q0 & b = 1 & 1; d2 = q1 | a = 1 | 1
+        assert captured[design.chain[0]] == 1
+        assert captured[design.chain[1]] == 1
+        assert captured[design.chain[2]] == 1
+
+    def test_functional_mode_unaffected(self):
+        base = sequential_example()
+        design = insert_scan(base)
+        from repro.netlist import run_sequential
+        stim = [{"a": 1, "b": 1}, {"a": 0, "b": 1}, {"a": 1, "b": 0}]
+        scan_stim = [dict(s, scan_en=0, scan_in=0) for s in stim]
+        base_out = run_sequential(base, stim)
+        scan_out = run_sequential(design.netlist, scan_stim)
+        for bo, so in zip(base_out, scan_out):
+            assert bo["y"] == so["y"]
+
+
+class TestFaultGrading:
+    def test_no_vectors_zero_coverage(self):
+        report = grade_vectors(c17(), [])
+        assert report.coverage == 0.0 if report.total_faults else 1.0
+
+    def test_exhaustive_vectors_high_coverage(self):
+        n = c17()
+        vectors = [
+            {name: (m >> i) & 1 for i, name in enumerate(n.inputs)}
+            for m in range(32)
+        ]
+        report = grade_vectors(n, vectors)
+        assert report.coverage == 1.0
+
+    def test_coverage_monotone_in_vectors(self):
+        n = random_circuit(8, 60, 4, seed=1)
+        rng = random.Random(2)
+        vectors = [
+            {name: rng.randint(0, 1) for name in n.inputs}
+            for _ in range(32)
+        ]
+        low = grade_vectors(n, vectors[:4]).coverage
+        high = grade_vectors(n, vectors).coverage
+        assert high >= low
+
+
+class TestAtpg:
+    def test_full_coverage_on_c17(self):
+        result = run_atpg(c17(), random_budget=8, seed=1)
+        assert result.coverage == 1.0
+        assert not result.aborted
+
+    def test_redundant_fault_classified(self):
+        n = Netlist()
+        n.add_input("x")
+        n.add_gate("inv", GateType.NOT, ["x"])
+        n.add_gate("o", GateType.OR, ["x", "inv"])   # constant 1
+        n.add_gate("y", GateType.AND, ["o", "x"])
+        n.add_output("y")
+        test, status = generate_test_for_fault(
+            n, Fault("o", FaultKind.STUCK_AT_1))
+        assert status == "untestable" and test is None
+
+    def test_generated_test_detects(self):
+        n = random_circuit(8, 50, 3, seed=3)
+        fault = Fault(sorted(n.gates)[10], FaultKind.STUCK_AT_0)
+        test, status = generate_test_for_fault(n, fault)
+        if status == "detected":
+            report = grade_vectors(n, [test], [fault])
+            assert report.coverage == 1.0
+
+    def test_compaction_keeps_coverage(self):
+        n = c17()
+        result = run_atpg(n, random_budget=16, seed=4)
+        compacted = compact_vectors(n, result.vectors)
+        assert len(compacted) <= len(result.vectors)
+        assert grade_vectors(n, compacted).coverage == \
+            grade_vectors(n, result.vectors).coverage
+
+
+class TestBist:
+    def test_lfsr_cycles_nonzero(self):
+        lfsr = Lfsr(8, seed=1)
+        seen = {lfsr.step() for _ in range(255)}
+        assert 0 not in seen
+        assert len(seen) > 100  # long period
+
+    def test_lfsr_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=0)
+
+    def test_misr_order_sensitive(self):
+        a = Misr(8)
+        for w in (1, 2, 3):
+            a.absorb(w)
+        b = Misr(8)
+        for w in (3, 2, 1):
+            b.absorb(w)
+        assert a.signature != b.signature
+
+    def test_bist_self_consistent(self):
+        result = run_bist(c17(), 64)
+        assert result.passed
+
+    def test_bist_detects_stuck_fault(self):
+        n = c17()
+        faulty = inject_fault(n, Fault("G16", FaultKind.STUCK_AT_0))
+        assert bist_detects_fault(n, faulty, 128)
+
+    def test_bist_golden_signature_reuse(self):
+        n = random_circuit(8, 50, 4, seed=5)
+        golden = run_bist(n, 128)
+        again = run_bist(n, 128, golden_signature=golden.signature)
+        assert again.passed
+
+
+class TestScanAttack:
+    KEY = [random.Random(9).randrange(256) for _ in range(16)]
+
+    def test_insecure_chip_leaks_key(self):
+        result = scan_attack(ScanChipModel(self.KEY, secure=False))
+        assert result.success
+        assert result.recovered_key == self.KEY
+
+    def test_secure_scan_blocks(self):
+        chip = ScanChipModel(self.KEY, secure=True)
+        assert not scan_attack(chip).success
+
+    def test_secure_scan_preserves_testability(self):
+        chip = ScanChipModel(self.KEY, secure=True)
+        assert scan_test_access(chip)
+
+    def test_mission_mode_guard(self):
+        chip = ScanChipModel(self.KEY)
+        with pytest.raises(RuntimeError):
+            chip.scan_out()  # not in test mode
+        chip.enter_test_mode()
+        with pytest.raises(RuntimeError):
+            chip.run_round([0] * 16)  # not in mission mode
+
+
+class TestDfx:
+    def test_key_provisioning_once(self):
+        controller = DfxController()
+        controller.provision_key(1)
+        with pytest.raises(RuntimeError):
+            controller.provision_key(2)
+
+    def test_natural_faults_keep_mission(self):
+        controller = DfxController()
+        controller.provision_key(5)
+        for event in natural_fault_stream(3, 100_000, ["m"], seed=2):
+            controller.handle_alarm(event)
+        assert controller.state is ChipState.MISSION
+        assert controller.key_epoch == 0
+
+    def test_attack_triggers_rekey_then_disable(self):
+        controller = DfxController(max_rekey_events=2)
+        controller.provision_key(5)
+        for event in attack_fault_stream(10, 0, "aes"):
+            controller.handle_alarm(event)
+        assert controller.state is ChipState.DISABLED
+        assert controller.unlock_key(controller.key_epoch) is None
+
+    def test_epoch_diversifies_key(self):
+        controller = DfxController(max_rekey_events=10)
+        controller.provision_key(0xAB)
+        k0 = controller.unlock_key(0)
+        for event in attack_fault_stream(3, 0, "aes"):
+            controller.handle_alarm(event)
+        if controller.operational and controller.key_epoch > 0:
+            assert controller.unlock_key(controller.key_epoch) != k0
+            assert controller.unlock_key(0) is None
+
+    def test_log_records_everything(self):
+        controller = DfxController()
+        events = natural_fault_stream(4, 1000, ["a"], seed=3)
+        for event in events:
+            controller.handle_alarm(event)
+        assert len(controller.log) == 4

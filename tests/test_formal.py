@@ -1,0 +1,316 @@
+"""Tests for the formal substrate: SAT solver, encoding, equivalence, BMC."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal import (
+    CircuitEncoder,
+    Solver,
+    bmc_reach,
+    build_miter,
+    check_equivalence,
+    lit,
+    neg,
+    prove_implication,
+    prove_output_constant,
+    solve_circuit,
+)
+from repro.netlist import (
+    GateType,
+    Netlist,
+    c17,
+    exhaustive_truth_table,
+    output_values,
+    random_circuit,
+)
+from repro.synth import synthesize, to_nand_inv
+
+
+def brute_force_sat(n_vars, clauses):
+    for bits in itertools.product([0, 1], repeat=n_vars):
+        if all(any((bits[l >> 1] ^ (l & 1)) == 1 for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestSolver:
+    def test_empty_formula_sat(self):
+        s = Solver()
+        s.new_var()
+        assert s.solve() is True
+
+    def test_unit_conflict(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([lit(a)])
+        assert not s.add_clause([lit(a, True)]) or s.solve() is False
+
+    def test_simple_unsat(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        s.add_clause([lit(a), lit(b, True)])
+        s.add_clause([lit(a, True), lit(b)])
+        s.add_clause([lit(a, True), lit(b, True)])
+        assert s.solve() is False
+
+    def test_model_satisfies(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(4)]
+        clauses = [[lit(vs[0]), lit(vs[1], True)],
+                   [lit(vs[2]), lit(vs[3])],
+                   [lit(vs[0], True), lit(vs[2], True)]]
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() is True
+        model = [s.model_value(v) for v in vs]
+        for c in clauses:
+            assert any(model[l >> 1] ^ (l & 1) for l in c)
+
+    def test_random_cross_check(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            nv = rng.randint(3, 8)
+            nc = rng.randint(5, 35)
+            clauses = []
+            for _ in range(nc):
+                vs = rng.sample(range(nv), rng.randint(1, min(3, nv)))
+                clauses.append([2 * v + rng.randint(0, 1) for v in vs])
+            s = Solver()
+            for _ in range(nv):
+                s.new_var()
+            ok = all(s.add_clause(c) for c in clauses)
+            got = s.solve() if ok else False
+            assert got == brute_force_sat(nv, clauses)
+
+    def test_assumptions(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        assert s.solve([lit(a, True), lit(b, True)]) is False
+        assert s.solve([lit(a, True)]) is True
+        assert s.model_value(b) == 1
+        assert s.solve() is True  # no assumptions: still SAT
+
+    def test_incremental_clauses(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        assert s.solve() is True
+        s.add_clause([lit(a, True)])
+        assert s.solve() is True
+        assert s.model_value(b) == 1
+        s.add_clause([lit(b, True)])
+        assert s.solve() is False
+
+    def test_conflict_budget(self):
+        # A hard pigeonhole-ish instance should exhaust a tiny budget.
+        s = Solver()
+        n = 6
+        holes = 5
+        vs = [[s.new_var() for _ in range(holes)] for _ in range(n)]
+        for p in range(n):
+            s.add_clause([lit(vs[p][h]) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    s.add_clause([lit(vs[p1][h], True), lit(vs[p2][h], True)])
+        assert s.solve(conflict_budget=3) is None
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([lit(a), lit(a, True)])
+        assert s.solve() is True
+
+    def test_stats(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([lit(a)])
+        s.solve()
+        stats = s.stats()
+        assert stats["vars"] == 1
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("gate_type,table", [
+        (GateType.AND, [0, 0, 0, 1]),
+        (GateType.NAND, [1, 1, 1, 0]),
+        (GateType.OR, [0, 1, 1, 1]),
+        (GateType.NOR, [1, 0, 0, 0]),
+        (GateType.XOR, [0, 1, 1, 0]),
+        (GateType.XNOR, [1, 0, 0, 1]),
+    ])
+    def test_two_input_gates(self, gate_type, table):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("y", gate_type, ["a", "b"])
+        n.add_output("y")
+        for minterm, want in enumerate(table):
+            a, b = minterm & 1, (minterm >> 1) & 1
+            sol = solve_circuit(n, {"a": a, "b": b}, {"y": want})
+            if want == exhaustive_truth_table(n)[minterm]:
+                assert sol is not None
+            else:
+                assert sol is None
+
+    def test_mux_encoding(self):
+        n = Netlist()
+        for name in ("s", "a", "b"):
+            n.add_input(name)
+        n.add_gate("y", GateType.MUX, ["s", "a", "b"])
+        n.add_output("y")
+        sol = solve_circuit(n, {"s": 0, "a": 1}, {"y": 0})
+        assert sol is None  # s=0 selects a=1, y must be 1
+
+    def test_wide_xor_encoding(self):
+        n = Netlist()
+        for i in range(5):
+            n.add_input(f"x{i}")
+        n.add_gate("y", GateType.XOR, [f"x{i}" for i in range(5)])
+        n.add_output("y")
+        sol = solve_circuit(n, {}, {"y": 1})
+        assert sol is not None
+        assert sum(sol.values()) % 2 == 1
+
+    def test_constants(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("z", GateType.CONST0)
+        n.add_gate("y", GateType.OR, ["a", "z"])
+        n.add_output("y")
+        assert solve_circuit(n, {"a": 0}, {"y": 1}) is None
+
+
+class TestEquivalence:
+    def test_equivalent_after_synthesis(self):
+        for seed in (1, 2):
+            n = random_circuit(7, 60, 3, seed=seed)
+            m = synthesize(n)
+            assert check_equivalence(n, m).equivalent
+
+    def test_equivalent_after_techmap(self):
+        n = random_circuit(6, 40, 2, seed=11)
+        m = n.copy()
+        to_nand_inv(m)
+        assert check_equivalence(n, m).equivalent
+
+    def test_counterexample_is_real(self):
+        n1 = c17()
+        n2 = c17()
+        n2.gates["G16"].gate_type = GateType.AND  # corrupt
+        res = check_equivalence(n1, n2)
+        assert not res.equivalent
+        v1 = output_values(n1, res.counterexample)
+        v2 = output_values(n2, res.counterexample)
+        assert v1 != v2
+        assert res.mismatched_output in ("G22", "G23")
+
+    def test_fixed_inputs(self):
+        # y = a AND k ; with k fixed to 1 it equals BUF(a).
+        locked = Netlist()
+        locked.add_input("a")
+        locked.add_input("k")
+        locked.add_gate("y", GateType.AND, ["a", "k"])
+        locked.add_output("y")
+        plain = Netlist()
+        plain.add_input("a")
+        plain.add_gate("y", GateType.BUF, ["a"])
+        plain.add_output("y")
+        assert check_equivalence(locked, plain,
+                                 left_fixed={"k": 1}).equivalent
+        assert not check_equivalence(locked, plain,
+                                     left_fixed={"k": 0}).equivalent
+
+    def test_unbound_right_inputs_rejected(self):
+        left = Netlist()
+        left.add_input("a")
+        left.add_gate("y", GateType.BUF, ["a"])
+        left.add_output("y")
+        right = Netlist()
+        right.add_input("a")
+        right.add_input("extra")
+        right.add_gate("y", GateType.AND, ["a", "extra"])
+        right.add_output("y")
+        with pytest.raises(ValueError):
+            check_equivalence(left, right)
+
+    def test_build_miter(self):
+        n1 = c17()
+        n2 = c17()
+        miter = build_miter(n1, n2)
+        miter.validate()
+        # identical circuits: diff always 0
+        assert prove_output_constant(miter, "diff", 0).holds
+
+
+class TestProperties:
+    def test_prove_constant_holds(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("y", GateType.XOR, ["a", "a"])
+        n.add_output("y")
+        assert prove_output_constant(n, "y", 0).holds
+
+    def test_prove_constant_witness(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("y", GateType.BUF, ["a"])
+        n.add_output("y")
+        res = prove_output_constant(n, "y", 0)
+        assert not res.holds
+        assert res.witness[0]["a"] == 1
+
+    def test_implication(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("y", GateType.AND, ["a", "b"])
+        n.add_output("y")
+        assert prove_implication(n, {"y": 1}, {"a": 1, "b": 1}).holds
+        assert not prove_implication(n, {"a": 1}, {"y": 1}).holds
+
+    def build_counter(self):
+        n = Netlist("cnt")
+        n.add_input("en")
+        n.add_gate("q0", GateType.DFF, ["d0"])
+        n.add_gate("q1", GateType.DFF, ["d1"])
+        n.add_gate("d0", GateType.XOR, ["q0", "en"])
+        n.add_gate("c", GateType.AND, ["q0", "en"])
+        n.add_gate("d1", GateType.XOR, ["q1", "c"])
+        n.add_gate("both", GateType.AND, ["q0", "q1"])
+        n.add_output("both")
+        return n
+
+    def test_bmc_unreachable_within_bound(self):
+        assert bmc_reach(self.build_counter(), "both", 2).holds
+
+    def test_bmc_reachable(self):
+        res = bmc_reach(self.build_counter(), "both", 4)
+        assert not res.holds
+        assert all(frame["en"] == 1 for frame in res.witness[:3])
+
+    def test_bmc_initial_state(self):
+        res = bmc_reach(self.build_counter(), "both", 1,
+                        initial_state={"q0": 1, "q1": 1})
+        # state (1,1) already asserts 'both' in frame 0
+        assert not res.holds
+
+    def test_bmc_combinational_fallback(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("y", GateType.AND, ["a", "a"])
+        n.add_output("y")
+        assert not bmc_reach(n, "y", 3).holds  # reachable with a=1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_equivalence_random_property(seed):
+    n = random_circuit(5, 30, 2, seed=seed)
+    m = synthesize(n)
+    assert check_equivalence(n, m).equivalent
