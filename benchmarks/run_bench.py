@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness.
+
+Runs the pytest-benchmark suite under ``benchmarks/``, stores the
+machine-readable results as ``BENCH_<n>.json`` at the repository root
+(``n`` auto-increments), and prints a per-benchmark comparison against
+the previous run, flagging regressions beyond a configurable threshold.
+
+Usage::
+
+    python benchmarks/run_bench.py                 # whole suite
+    python benchmarks/run_bench.py bench_tvla.py   # one file
+    python benchmarks/run_bench.py -k tvla         # pytest filters pass through
+
+Exit status is non-zero if pytest fails or any benchmark regressed by
+more than ``--threshold`` (default 10%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def existing_runs() -> Dict[int, Path]:
+    runs = {}
+    for path in REPO_ROOT.iterdir():
+        m = BENCH_RE.match(path.name)
+        if m:
+            runs[int(m.group(1))] = path
+    return runs
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def compare(previous: Dict[str, float], current: Dict[str, float],
+            threshold: float) -> int:
+    """Print the comparison table; returns the number of regressions."""
+    if not previous:
+        print("no previous BENCH_*.json to compare against")
+        return 0
+    width = max((len(n) for n in current), default=4)
+    print(f"{'benchmark':<{width}}  {'prev (s)':>10}  {'now (s)':>10}  "
+          f"{'speedup':>8}")
+    regressions = 0
+    for name in sorted(current):
+        now = current[name]
+        prev = previous.get(name)
+        if prev is None:
+            print(f"{name:<{width}}  {'-':>10}  {now:>10.4f}  {'new':>8}")
+            continue
+        speedup = prev / now if now > 0 else float("inf")
+        marker = ""
+        if now > prev * (1 + threshold):
+            marker = f"  << REGRESSION (>{threshold:.0%})"
+            regressions += 1
+        print(f"{name:<{width}}  {prev:>10.4f}  {now:>10.4f}  "
+              f"{speedup:>7.2f}x{marker}")
+    for name in sorted(set(previous) - set(current)):
+        print(f"{name:<{width}}  {previous[name]:>10.4f}  {'-':>10}  "
+              f"{'gone':>8}")
+    return regressions
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="Unknown arguments are forwarded to pytest.")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="regression threshold as a fraction "
+                             "(default: 0.10 = 10%%)")
+    parser.add_argument("--compare-only", action="store_true",
+                        help="compare the two latest BENCH_*.json "
+                             "without running anything")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    runs = existing_runs()
+    if args.compare_only:
+        if len(runs) < 2:
+            print("need at least two BENCH_*.json files to compare")
+            return 1
+        latest, prior = sorted(runs)[-1], sorted(runs)[-2]
+        bad = compare(load_means(runs[prior]), load_means(runs[latest]),
+                      args.threshold)
+        return 1 if bad else 0
+
+    next_n = max(runs, default=0) + 1
+    out_path = REPO_ROOT / f"BENCH_{next_n}.json"
+    targets = [a for a in pytest_args if not a.startswith("-")]
+    flags = [a for a in pytest_args if a.startswith("-")]
+    if not targets:
+        targets = [str(BENCH_DIR)]
+    else:
+        # pytest runs from the repo root; resolve bare file names like
+        # ``bench_tvla.py`` against the benchmarks directory.
+        targets = [
+            str(BENCH_DIR / t)
+            if not Path(t).exists() and (BENCH_DIR / t).exists() else t
+            for t in targets
+        ]
+    cmd = [
+        sys.executable, "-m", "pytest", "-q", *targets, *flags,
+        f"--benchmark-json={out_path}",
+    ]
+    env_path = str(REPO_ROOT / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + os.pathsep + env.get("PYTHONPATH", "")
+    print("running:", " ".join(cmd))
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        print(f"pytest exited with {proc.returncode}; "
+              f"results (if any) in {out_path.name}")
+        return proc.returncode
+
+    current = load_means(out_path)
+    print(f"\nwrote {out_path.name} ({len(current)} benchmarks)")
+    previous_path = runs.get(max(runs)) if runs else None
+    bad = compare(load_means(previous_path) if previous_path else {},
+                  current, args.threshold)
+    if bad:
+        print(f"\n{bad} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,27 @@ camouflaging studies protect it, and MERO hunts Trojans inside it.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..netlist import Netlist, from_truth_tables
 from .aes import SBOX
 from .present import SBOX4
+
+#: Memoized master netlists; every call hands out an independent copy,
+#: so callers can mutate freely while repeat construction (benchmarks
+#: rebuild these constantly) costs one deep copy instead of a fresh
+#: Shannon decomposition.
+_MEMO: Dict[Tuple, Netlist] = {}
+
+
+def _memoized(key: Tuple, build, name: str) -> Netlist:
+    master = _MEMO.get(key)
+    if master is None:
+        master = build()
+        if len(_MEMO) >= 32:
+            _MEMO.pop(next(iter(_MEMO)))
+        _MEMO[key] = master
+    return master.copy(name)
 
 
 def _tables_for(sbox: Sequence[int], out_bits: int) -> dict:
@@ -24,14 +40,21 @@ def _tables_for(sbox: Sequence[int], out_bits: int) -> dict:
 def aes_sbox_netlist(name: str = "aes_sbox") -> Netlist:
     """8-bit AES S-box as a multiplexer-tree netlist (inputs x0..x7 LSB
     first, outputs y0..y7)."""
-    return from_truth_tables(8, _tables_for(SBOX, 8), name=name,
-                             input_names=[f"x{i}" for i in range(8)])
+    return _memoized(
+        ("aes_sbox",),
+        lambda: from_truth_tables(8, _tables_for(SBOX, 8), name="aes_sbox",
+                                  input_names=[f"x{i}" for i in range(8)]),
+        name)
 
 
 def present_sbox_netlist(name: str = "present_sbox") -> Netlist:
     """4-bit PRESENT S-box netlist (inputs x0..x3, outputs y0..y3)."""
-    return from_truth_tables(4, _tables_for(SBOX4, 4), name=name,
-                             input_names=[f"x{i}" for i in range(4)])
+    return _memoized(
+        ("present_sbox",),
+        lambda: from_truth_tables(4, _tables_for(SBOX4, 4),
+                                  name="present_sbox",
+                                  input_names=[f"x{i}" for i in range(4)]),
+        name)
 
 
 def sbox_with_key_netlist(sbox: Optional[Sequence[int]] = None,
@@ -44,11 +67,19 @@ def sbox_with_key_netlist(sbox: Optional[Sequence[int]] = None,
     experiments and for scan-attack demonstrations.
     """
     table = list(sbox) if sbox is not None else list(SBOX)
+
+    def build() -> Netlist:
+        return _build_sbox_with_key(table, bits)
+
+    return _memoized(("keyed_sbox", tuple(table), bits), build, name)
+
+
+def _build_sbox_with_key(table: Sequence[int], bits: int) -> Netlist:
     base = from_truth_tables(
         bits, _tables_for(table, bits), name="_sb",
         input_names=[f"x{i}" for i in range(bits)],
     )
-    n = Netlist(name)
+    n = Netlist("keyed_sbox")
     from ..netlist import GateType
 
     for i in range(bits):

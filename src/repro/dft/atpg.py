@@ -18,7 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..fia import Fault, FaultKind, enumerate_faults, inject_fault
 from ..formal import CircuitEncoder
 from ..netlist import Netlist
-from .faultsim import grade_vectors
+from .faultsim import detected_by_vectors, grade_vectors
 
 
 @dataclass
@@ -73,7 +73,14 @@ def run_atpg(netlist: Netlist,
              faults: Optional[Sequence[Fault]] = None,
              random_budget: int = 64,
              seed: int = 0) -> AtpgResult:
-    """Random phase with fault dropping, then SAT phase per survivor."""
+    """Random phase with fault dropping, then SAT phase per survivor.
+
+    The SAT phase also drops faults: every deterministically generated
+    test is fault-simulated against the remaining undetected faults, so
+    one solver query typically retires many faults — the classical
+    test-generation loop, and the difference between minutes and
+    seconds on XOR-heavy designs.
+    """
     rng = random.Random(seed)
     fault_list = list(faults) if faults is not None else enumerate_faults(
         netlist, kinds=(FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1))
@@ -83,8 +90,11 @@ def run_atpg(netlist: Netlist,
     ]
     report = grade_vectors(netlist, vectors, fault_list)
     result = AtpgResult(vectors=vectors)
-    result.detected = [f for f in fault_list if f not in report.undetected]
-    for fault in report.undetected:
+    undetected_set = set(report.undetected)
+    result.detected = [f for f in fault_list if f not in undetected_set]
+    remaining = list(report.undetected)
+    while remaining:
+        fault = remaining.pop(0)
         test, status = generate_test_for_fault(netlist, fault)
         if status == "untestable":
             result.untestable.append(fault)
@@ -93,6 +103,13 @@ def run_atpg(netlist: Netlist,
         else:
             result.vectors.append(test)
             result.detected.append(fault)
+            # Drop every other remaining fault this test also exposes.
+            flags = detected_by_vectors(netlist, [test], remaining)
+            dropped = [f for f, hit in zip(remaining, flags) if hit]
+            if dropped:
+                result.detected.extend(dropped)
+                remaining = [f for f, hit in zip(remaining, flags)
+                             if not hit]
     return result
 
 

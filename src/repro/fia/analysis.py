@@ -15,9 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..formal import CircuitEncoder
-from ..netlist import Netlist, random_stimulus, simulate
+from ..netlist import GateType, Netlist, get_compiled, random_stimulus
 from .injector import inject_fault
-from .models import Fault
+from .models import Fault, FaultKind
 
 
 @dataclass
@@ -78,25 +78,58 @@ def fault_campaign(netlist: Netlist, faults: Sequence[Fault],
     ``alarm`` names the detection output (if the design has one);
     ``payload_outputs`` restricts which outputs count as corruption
     (default: all outputs except the alarm).
+
+    The campaign runs on the compiled engine: one fault-free
+    bit-parallel simulation covers all vectors, then each fault is
+    propagated event-driven through its combinational cone
+    (:meth:`~repro.netlist.CompiledNetlist.propagate_force`) — no
+    per-fault netlist copy, no full re-simulation.  Results match the
+    ``inject_fault``-then-``simulate`` formulation exactly, including
+    its name-resolution detail: a BIT_FLIP (or a stuck-at on a primary
+    input) interposes a new net between the victim and its consumers,
+    so the victim's *own name* keeps its healthy value when read as an
+    output or alarm; a stuck-at on an internal gate rewrites the gate
+    itself and is visible under its own name.
     """
     rng = random.Random(seed)
     width = n_vectors
     stimulus = random_stimulus(netlist.inputs, width, rng)
-    golden = simulate(netlist, stimulus, width)
+    compiled = get_compiled(netlist)
+    golden = compiled.eval_words(stimulus, width)
     outputs = list(payload_outputs) if payload_outputs else [
         o for o in netlist.outputs if o != alarm
     ]
+    output_indices = [compiled.index[o] for o in outputs]
+    alarm_index = compiled.index[alarm] if alarm is not None else None
+    gates = netlist.gates
     mask = (1 << width) - 1
     report = CampaignReport()
     for fault in faults:
-        faulty = inject_fault(netlist, fault)
-        values = simulate(faulty, stimulus, width)
+        site = compiled.index[fault.net]
+        if fault.kind is FaultKind.STUCK_AT_0:
+            forced = 0
+        elif fault.kind is FaultKind.STUCK_AT_1:
+            forced = mask
+        elif fault.kind is FaultKind.BIT_FLIP:
+            forced = ~golden[site] & mask
+        else:
+            raise ValueError(f"unsupported fault kind {fault.kind}")
+        site_visible = (fault.kind is not FaultKind.BIT_FLIP
+                        and gates[fault.net].gate_type is not GateType.INPUT)
+        changed = compiled.propagate_force(golden, site, forced, width)
         corrupt = 0
-        for out in outputs:
-            corrupt |= (golden[out] ^ values[out]) & mask
+        for o in output_indices:
+            if o == site and not site_visible:
+                continue
+            new = changed.get(o)
+            if new is not None:
+                corrupt |= (golden[o] ^ new) & mask
         propagated = corrupt != 0
         if alarm is not None:
-            alarm_word = values[alarm]
+            if alarm_index == site and not site_visible:
+                alarm_word = golden[alarm_index]
+            else:
+                alarm_word = changed.get(alarm_index, golden[alarm_index])
             undetected_corruption = corrupt & ~alarm_word & mask
             detected = propagated and undetected_corruption == 0
             silent = undetected_corruption != 0

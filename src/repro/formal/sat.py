@@ -56,6 +56,7 @@ class Solver:
         self.trail_lim: List[int] = []       # trail length per decision
         self.activity: List[float] = []
         self._heap: List[Tuple[float, int]] = []
+        self._seen: List[bool] = []          # scratch for _analyze
         self._qhead = 0
         self.var_inc = 1.0
         self.var_decay = 0.95
@@ -76,6 +77,7 @@ class Solver:
         self.level.append(0)
         self.reason.append(-1)
         self.activity.append(0.0)
+        self._seen.append(False)
         self.watches.append([])
         self.watches.append([])
         heapq.heappush(self._heap, (0.0, v))
@@ -87,25 +89,28 @@ class Solver:
         Returns False if the formula became trivially unsatisfiable.
         Must not be called in the middle of :meth:`solve`.
         """
-        self._backtrack(0)
+        if self.trail_lim:
+            self._backtrack(0)
+        # Single pass: dedup, tautology check, and level-0 filtering
+        # (drop false literals, skip satisfied clauses).  This runs for
+        # every encoded gate, so the literal value test is inlined.
+        assign = self.assign
+        num_vars = self.num_vars
         seen = set()
-        clause: List[int] = []
-        for l in literals:
-            if var_of(l) >= self.num_vars:
-                raise ValueError(f"literal {l} references unknown variable")
-            if neg(l) in seen:
-                return True  # tautology
-            if l not in seen:
-                seen.add(l)
-                clause.append(l)
-        # Drop literals already false at level 0; satisfied clause -> skip.
         reduced: List[int] = []
-        for l in clause:
-            value = self._value_of(l)
-            if value == 1:
-                return True
+        for l in literals:
+            if l in seen:
+                continue
+            if l ^ 1 in seen:
+                return True  # tautology
+            if (l >> 1) >= num_vars:
+                raise ValueError(f"literal {l} references unknown variable")
+            seen.add(l)
+            value = assign[l >> 1]
             if value == UNASSIGNED:
                 reduced.append(l)
+            elif value ^ (l & 1) == 1:
+                return True
         if not reduced:
             self._ok = False
             return False
@@ -139,50 +144,89 @@ class Solver:
         self.trail.append(literal)
 
     def _propagate(self) -> int:
-        """Unit propagation; returns a conflicting clause index or -1."""
-        while self._qhead < len(self.trail):
-            literal = self.trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
-            false_lit = neg(literal)
-            watch_list = self.watches[literal]
+        """Unit propagation; returns a conflicting clause index or -1.
+
+        This is the solver's hot loop (millions of iterations per SAT
+        attack), so attribute lookups are hoisted into locals, the
+        decision level is computed once (it cannot change while
+        propagating), and ``_value_of``/``_enqueue`` are inlined.  With
+        ``UNASSIGNED == -1``, ``assign[v] ^ (lit & 1)`` is negative for
+        unassigned variables, so the ``== 1`` / ``== 0`` tests need no
+        explicit unassigned branch.
+        """
+        trail = self.trail
+        watches = self.watches
+        clauses = self.clauses
+        assign = self.assign
+        level = self.level
+        reason = self.reason
+        lvl = len(self.trail_lim)
+        qhead = self._qhead
+        processed = 0
+        while qhead < len(trail):
+            literal = trail[qhead]
+            qhead += 1
+            processed += 1
+            false_lit = literal ^ 1
+            watch_list = watches[literal]
             i = 0
             while i < len(watch_list):
                 ci = watch_list[i]
-                clause = self.clauses[ci]
+                clause = clauses[ci]
                 if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
                 first = clause[0]
-                if self._value_of(first) == 1:
+                fv = assign[first >> 1] ^ (first & 1)
+                if fv == 1:
                     i += 1
                     continue
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._value_of(clause[k]) != 0:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches[neg(clause[1])].append(ci)
+                    ck = clause[k]
+                    if assign[ck >> 1] ^ (ck & 1) != 0:
+                        clause[1] = ck
+                        clause[k] = false_lit
+                        watches[ck ^ 1].append(ci)
                         watch_list[i] = watch_list[-1]
                         watch_list.pop()
                         moved = True
                         break
                 if moved:
                     continue
-                if self._value_of(first) == 0:
-                    self._qhead = len(self.trail)
+                if fv == 0:
+                    self._qhead = len(trail)
+                    self.propagations += processed
                     return ci
-                self._enqueue(first, ci)
+                v = first >> 1
+                assign[v] = (first & 1) ^ 1
+                level[v] = lvl
+                reason[v] = ci
+                trail.append(first)
                 i += 1
+        self._qhead = qhead
+        self.propagations += processed
         return -1
 
     def _backtrack(self, target_level: int) -> None:
-        while len(self.trail_lim) > target_level:
-            limit = self.trail_lim.pop()
-            while len(self.trail) > limit:
-                literal = self.trail.pop()
-                v = var_of(literal)
-                self.assign[v] = UNASSIGNED
-                heapq.heappush(self._heap, (-self.activity[v], v))
-        self._qhead = min(self._qhead, len(self.trail))
+        trail_lim = self.trail_lim
+        if len(trail_lim) <= target_level:
+            self._qhead = min(self._qhead, len(self.trail))
+            return
+        # Unwind the trail in one slice instead of popping per literal.
+        trail = self.trail
+        assign = self.assign
+        activity = self.activity
+        heap = self._heap
+        push = heapq.heappush
+        limit = trail_lim[target_level]
+        del trail_lim[target_level:]
+        for literal in trail[limit:]:
+            v = literal >> 1
+            assign[v] = UNASSIGNED
+            push(heap, (-activity[v], v))
+        del trail[limit:]
+        self._qhead = min(self._qhead, limit)
 
     def _bump(self, v: int) -> None:
         self.activity[v] += self.var_inc
@@ -218,7 +262,10 @@ class Solver:
     def _analyze(self, conflict_idx: int) -> Tuple[List[int], int]:
         """First-UIP resolution; returns (learned clause, backjump level)."""
         learned: List[int] = [0]
-        seen = [False] * self.num_vars
+        # Reusable scratch: at exit, the only True flags left belong to
+        # the learned clause's lower-level literals (current-level flags
+        # are cleared as they are resolved), so those are reset below.
+        seen = self._seen
         counter = 0
         p = -1  # resolved literal (-1 = conflict clause itself)
         index = len(self.trail)
@@ -248,6 +295,8 @@ class Solver:
                 learned[0] = neg(p)
                 break
             clause = self.clauses[self.reason[v]]
+        for l in learned[1:]:
+            seen[l >> 1] = False
         if len(learned) == 1:
             return learned, 0
         back_level = max(self.level[var_of(l)] for l in learned[1:])

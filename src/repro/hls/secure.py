@@ -163,7 +163,7 @@ def hls_power_trace(dfg: Dfg, schedule: Schedule,
         if OP_LATENCY[op.op] == 0:
             continue
         cycle = schedule.start[name] + OP_LATENCY[op.op] - 1
-        trace[min(cycle, n_cycles - 1)] += bin(values[name]).count("1")
+        trace[min(cycle, n_cycles - 1)] += int(values[name]).bit_count()
     if noise_sigma > 0:
         trace = trace + rng.normal(0.0, noise_sigma, trace.shape)
     return trace

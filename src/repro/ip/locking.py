@@ -140,6 +140,6 @@ def wrong_key_error_rate(locked: LockedCircuit, trials: int = 32,
         values = simulate(net, stim, vectors)
         for out in net.outputs:
             diff = golden[out] ^ values[out]
-            corrupted += bin(diff).count("1")
+            corrupted += diff.bit_count()
             total += vectors
     return corrupted / total if total else 0.0

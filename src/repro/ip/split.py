@@ -207,7 +207,7 @@ def reconstruction_error_rate(view: FeolView,
     wrong = 0
     total = 0
     for out in view.netlist.outputs:
-        wrong += bin(golden[out] ^ guess_values[out]).count("1")
+        wrong += (golden[out] ^ guess_values[out]).bit_count()
         total += n_vectors
     return wrong / total if total else 0.0
 

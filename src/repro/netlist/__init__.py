@@ -2,8 +2,10 @@
 
 from .gates import GateType, evaluate, check_arity
 from .netlist import Gate, Netlist, NetlistError, cone_extract
+from .engine import CompiledNetlist, get_compiled
 from .simulate import (
     simulate,
+    simulate_reference,
     output_values,
     step_sequential,
     run_sequential,
@@ -48,7 +50,9 @@ from .metrics import (
 __all__ = [
     "GateType", "evaluate", "check_arity",
     "Gate", "Netlist", "NetlistError", "cone_extract",
-    "simulate", "output_values", "step_sequential", "run_sequential",
+    "CompiledNetlist", "get_compiled",
+    "simulate", "simulate_reference",
+    "output_values", "step_sequential", "run_sequential",
     "pack_patterns", "unpack_word", "random_stimulus",
     "encode_int", "decode_int", "toggle_counts", "exhaustive_truth_table",
     "load", "loads", "dump", "dumps",

@@ -48,6 +48,8 @@ class Netlist:
         self.outputs: List[str] = []
         self._uid = itertools.count()
         self._topo_cache: Optional[List[str]] = None
+        self._inputs_cache: Optional[List[str]] = None
+        self._flops_cache: Optional[List[str]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -59,7 +61,7 @@ class Netlist:
         if name in self.gates:
             raise NetlistError(f"net {name!r} already has a driver")
         self.gates[name] = Gate(name, gate_type, list(fanins))
-        self._topo_cache = None
+        self.invalidate()
         return name
 
     def add_input(self, name: str) -> str:
@@ -90,15 +92,25 @@ class Netlist:
 
     @property
     def inputs(self) -> List[str]:
-        """Primary input names in insertion order."""
-        return [g.name for g in self.gates.values()
-                if g.gate_type is GateType.INPUT]
+        """Primary input names in insertion order.
+
+        Cached (and invalidated alongside the topo cache): hot paths
+        like trace packing read this per stimulus and must not rescan
+        every gate each time.  A fresh list is returned so callers may
+        mutate their copy freely.
+        """
+        if self._inputs_cache is None:
+            self._inputs_cache = [g.name for g in self.gates.values()
+                                  if g.gate_type is GateType.INPUT]
+        return list(self._inputs_cache)
 
     @property
     def flops(self) -> List[str]:
-        """DFF output net names in insertion order."""
-        return [g.name for g in self.gates.values()
-                if g.gate_type is GateType.DFF]
+        """DFF output net names in insertion order (cached like inputs)."""
+        if self._flops_cache is None:
+            self._flops_cache = [g.name for g in self.gates.values()
+                                 if g.gate_type is GateType.DFF]
+        return list(self._flops_cache)
 
     @property
     def is_sequential(self) -> bool:
@@ -186,8 +198,17 @@ class Netlist:
         return order
 
     def invalidate(self) -> None:
-        """Drop cached topology after in-place mutation of gates."""
+        """Drop caches after in-place mutation of gates.
+
+        Clears the topological order plus the derived input/flop name
+        caches.  The compiled simulation engine
+        (:mod:`repro.netlist.engine`) keys its per-netlist cache on the
+        identity of the topo list, so dropping it here also forces a
+        recompile on the next simulation.
+        """
         self._topo_cache = None
+        self._inputs_cache = None
+        self._flops_cache = None
 
     def transitive_fanin(self, nets: Iterable[str]) -> Set[str]:
         """All nets in the combinational fanin cone of ``nets`` (inclusive)."""
@@ -246,7 +267,7 @@ class Netlist:
         if old not in g.fanins:
             raise NetlistError(f"{gate_name!r} has no fanin {old!r}")
         g.fanins = [new if fi == old else fi for fi in g.fanins]
-        self._topo_cache = None
+        self.invalidate()
 
     def rewire_consumers(self, old: str, new: str,
                          keep_outputs: bool = False) -> None:
@@ -256,7 +277,7 @@ class Netlist:
                 g.fanins = [new if fi == old else fi for fi in g.fanins]
         if not keep_outputs:
             self.outputs = [new if o == old else o for o in self.outputs]
-        self._topo_cache = None
+        self.invalidate()
 
     def remove_gate(self, net: str) -> None:
         """Remove the driver of ``net``; it must have no remaining consumers."""
@@ -268,7 +289,7 @@ class Netlist:
         if net in self.outputs:
             raise NetlistError(f"cannot remove primary output {net!r}")
         del self.gates[net]
-        self._topo_cache = None
+        self.invalidate()
 
     def sweep_dangling(self) -> int:
         """Remove gates driving nothing (not outputs, not consumed). Returns count."""
@@ -285,7 +306,7 @@ class Netlist:
             for net in dead:
                 del self.gates[net]
                 removed += 1
-            self._topo_cache = None
+            self.invalidate()
 
     # ------------------------------------------------------------------
     # Copy / compose

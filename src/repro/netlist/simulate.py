@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .engine import get_compiled
 from .gates import GateType, evaluate
 from .netlist import Netlist, NetlistError
 
@@ -23,6 +24,23 @@ def simulate(netlist: Netlist, inputs: Mapping[str, int],
     ``inputs`` maps each primary-input name to a packed word; ``state``
     optionally maps DFF output names to their current packed values
     (defaulting to 0).  Returns the packed value of *every* net.
+
+    Evaluation runs on the compiled engine
+    (:mod:`repro.netlist.engine`): the netlist is lowered once into a
+    flat gate program and re-used until the next structural mutation.
+    Results are bit-exact with :func:`simulate_reference`.
+    """
+    return get_compiled(netlist).simulate(inputs, width, state)
+
+
+def simulate_reference(netlist: Netlist, inputs: Mapping[str, int],
+                       width: int = 1,
+                       state: Optional[Mapping[str, int]] = None
+                       ) -> Dict[str, int]:
+    """Interpreted reference semantics of :func:`simulate`.
+
+    Kept as the executable specification the compiled engine is
+    property-tested against; prefer :func:`simulate` everywhere else.
     """
     mask = (1 << width) - 1
     values: Dict[str, int] = {}
@@ -130,13 +148,15 @@ def toggle_counts(netlist: Netlist,
     """
     if len(stimulus) < 2:
         return []
-    previous = simulate(netlist, stimulus[0], width)
+    compiled = get_compiled(netlist)
+    names = compiled.names
+    previous = compiled.eval_words(stimulus[0], width)
     transitions: List[Dict[str, int]] = []
     for vec in stimulus[1:]:
-        current = simulate(netlist, vec, width)
+        current = compiled.eval_words(vec, width)
         transitions.append({
-            net: bin((previous[net] ^ current[net])).count("1")
-            for net in current
+            net: (before ^ after).bit_count()
+            for net, before, after in zip(names, previous, current)
         })
         previous = current
     return transitions

@@ -125,6 +125,7 @@ def annealing_placement(netlist: Netlist,
     placement = random_placement(netlist, width, height, seed)
     nets = nets_for_wirelength(netlist)
     cells = list(placement.positions)
+    positions = placement.positions
     # Per-cell net membership for incremental evaluation.
     nets_of: Dict[str, List[int]] = {c: [] for c in cells}
     for idx, net in enumerate(nets):
@@ -132,20 +133,23 @@ def annealing_placement(netlist: Netlist,
             if c in nets_of:
                 nets_of[c].append(idx)
 
-    def net_cost(indices: Iterable[int]) -> float:
-        pos = placement.positions
-        total = 0.0
-        for i in set(indices):
-            net = nets[i]
-            xs = [pos[c][0] for c in net]
-            ys = [pos[c][1] for c in net]
-            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
-        return total
+    def one_net_cost(i: int) -> float:
+        xs = []
+        ys = []
+        for c in nets[i]:
+            x, y = positions[c]
+            xs.append(x)
+            ys.append(y)
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
-    occupied: Dict[Point, str] = {p: c for c, p in placement.positions.items()}
+    # Cached per-net HPWL: each move only re-evaluates the moved cells'
+    # nets and reads everything else from the cache, instead of
+    # recomputing the affected bounding boxes twice per move.
+    net_costs = [one_net_cost(i) for i in range(len(nets))]
+    occupied: Dict[Point, str] = {p: c for c, p in positions.items()}
     all_sites = [(x, y) for x in range(placement.width)
                  for y in range(placement.height)]
-    initial = hpwl(placement, nets)
+    initial = sum(net_costs)
     temperature = initial_temperature
     cooling = 0.995 ** (20000 / max(1, iterations))
     accepted = 0
@@ -153,28 +157,35 @@ def annealing_placement(netlist: Netlist,
         cell = rng.choice(cells)
         target = rng.choice(all_sites)
         other = occupied.get(target)
-        affected = list(nets_of[cell])
+        if other is None:
+            affected = nets_of[cell]
+        else:
+            affected = set(nets_of[cell])
+            affected.update(nets_of[other])
+        old_pos = positions[cell]
+        positions[cell] = target
         if other is not None:
-            affected += nets_of[other]
-        before = net_cost(affected)
-        old_pos = placement.positions[cell]
-        placement.positions[cell] = target
-        if other is not None:
-            placement.positions[other] = old_pos
-        after = net_cost(affected)
-        delta = after - before
+            positions[other] = old_pos
+        delta = 0.0
+        updates = []
+        for i in affected:
+            cost = one_net_cost(i)
+            delta += cost - net_costs[i]
+            updates.append((i, cost))
         if delta <= 0 or rng.random() < math.exp(-delta / max(temperature,
                                                               1e-9)):
             accepted += 1
+            for i, cost in updates:
+                net_costs[i] = cost
             occupied[target] = cell
             if other is not None:
                 occupied[old_pos] = other
             else:
                 del occupied[old_pos]
         else:
-            placement.positions[cell] = old_pos
+            positions[cell] = old_pos
             if other is not None:
-                placement.positions[other] = target
+                positions[other] = target
         temperature *= cooling
     final = hpwl(placement, nets)
     return PlacementResult(placement, initial, final, accepted)

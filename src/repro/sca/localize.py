@@ -15,8 +15,8 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from ..netlist import Netlist, simulate
-from .power_model import _word_to_bits
+from ..netlist import Netlist, get_compiled
+from .power_model import net_bit_matrix
 from .tvla import TVLA_THRESHOLD, welch_t
 
 
@@ -36,14 +36,10 @@ class NetLeakage:
 def per_net_values(netlist: Netlist,
                    stimuli: Sequence[Mapping[str, int]]) -> Dict[str, np.ndarray]:
     """Bit matrix of every net's value across a stimulus batch."""
-    width = len(stimuli)
-    packed: Dict[str, int] = {name: 0 for name in netlist.inputs}
-    for position, stim in enumerate(stimuli):
-        for name in netlist.inputs:
-            if stim.get(name, 0) & 1:
-                packed[name] |= 1 << position
-    values = simulate(netlist, packed, width)
-    return {net: _word_to_bits(word, width) for net, word in values.items()}
+    compiled = get_compiled(netlist)
+    bits = net_bit_matrix(netlist, stimuli)
+    return {net: bits[i].astype(np.int64)
+            for i, net in enumerate(compiled.names)}
 
 
 def locate_leaking_nets(netlist: Netlist,

@@ -39,7 +39,10 @@ def encode_shares(bit: int, n_shares: int,
                   rng: Optional[random.Random] = None) -> List[int]:
     """Split one bit into ``n_shares`` Boolean shares."""
     rng = rng or random.Random()
-    shares = [rng.randint(0, 1) for _ in range(n_shares - 1)]
+    # One RNG draw for all mask shares (stimulus generation is on the
+    # hot path of every masking campaign).
+    word = rng.getrandbits(n_shares - 1)
+    shares = [(word >> i) & 1 for i in range(n_shares - 1)]
     last = bit & 1
     for s in shares:
         last ^= s
@@ -262,16 +265,50 @@ def isw_and_netlist(n_shares: int = 3, name: str = "isw_and") -> Netlist:
     return n
 
 
+_STIM_FNS: Dict[int, Callable[..., Dict[str, int]]] = {}
+
+
+def _stimulus_fn(n_shares: int) -> Callable[..., Dict[str, int]]:
+    """Generated stimulus builder for one share count.
+
+    Stimulus generation sits on the hot path of every masking campaign
+    (tens of thousands of calls per TVLA run), so — in the spirit of the
+    compiled simulation engine — each share count gets one generated
+    function drawing all randomness in a single RNG word and building
+    the dict as one literal.
+    """
+    fn = _STIM_FNS.get(n_shares)
+    if fn is not None:
+        return fn
+    n_mask = n_shares - 1
+    n_fresh = n_shares * (n_shares - 1) // 2
+    parity_mask = (1 << n_mask) - 1
+    items = []
+    for i in range(n_mask):
+        items.append(f"'a{i}': (w >> {i}) & 1")
+    items.append(f"'a{n_mask}': (sa ^ (w & {parity_mask}).bit_count()) & 1")
+    for i in range(n_mask):
+        items.append(f"'b{i}': (w >> {n_mask + i}) & 1")
+    items.append(f"'b{n_mask}': (sb ^ ((w >> {n_mask}) "
+                 f"& {parity_mask}).bit_count()) & 1")
+    pos = 2 * n_mask
+    for i in range(n_shares):
+        for j in range(i + 1, n_shares):
+            items.append(f"'r_{i}_{j}': (w >> {pos}) & 1")
+            pos += 1
+    source = (
+        "def _stim(sa, sb, getrandbits):\n"
+        f"    w = getrandbits({2 * n_mask + n_fresh})\n"
+        "    return {" + ", ".join(items) + "}"
+    )
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<share-stimulus>", "exec"), namespace)
+    fn = namespace["_stim"]
+    _STIM_FNS[n_shares] = fn
+    return fn
+
+
 def random_share_stimulus(secret_a: int, secret_b: int, n_shares: int,
                           rng: random.Random) -> Dict[str, int]:
     """One random masked stimulus for :func:`isw_and_netlist`."""
-    stim: Dict[str, int] = {}
-    a_shares = encode_shares(secret_a, n_shares, rng)
-    b_shares = encode_shares(secret_b, n_shares, rng)
-    for i in range(n_shares):
-        stim[f"a{i}"] = a_shares[i]
-        stim[f"b{i}"] = b_shares[i]
-    for i in range(n_shares):
-        for j in range(i + 1, n_shares):
-            stim[f"r_{i}_{j}"] = rng.randint(0, 1)
-    return stim
+    return _stimulus_fn(n_shares)(secret_a, secret_b, rng.getrandbits)

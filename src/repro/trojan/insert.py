@@ -22,7 +22,7 @@ def signal_probabilities(netlist: Netlist, n_vectors: int = 2048,
     stim = random_stimulus(netlist.inputs, n_vectors, rng)
     values = simulate(netlist, stim, n_vectors)
     return {
-        net: bin(word).count("1") / n_vectors
+        net: word.bit_count() / n_vectors
         for net, word in values.items()
     }
 
@@ -170,4 +170,4 @@ def trigger_activations(trojan: TrojanInstance,
                         width: int) -> int:
     """How many of the packed patterns fire the trigger."""
     values = simulate(trojan.netlist, stimuli_word, width)
-    return bin(values[trojan.trigger_net]).count("1")
+    return values[trojan.trigger_net].bit_count()

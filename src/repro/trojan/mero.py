@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..netlist import Netlist, simulate
+from ..netlist import Netlist, get_compiled, pack_patterns, simulate
 from .insert import TrojanInstance, rare_nodes
 
 
@@ -113,11 +113,22 @@ class DetectionOutcome:
 
 def apply_test_set(trojan: TrojanInstance,
                    vectors: Sequence[Mapping[str, int]]) -> DetectionOutcome:
-    """Run vectors against a compromised design; stop at first trigger."""
-    for index, vector in enumerate(vectors):
-        values = simulate(trojan.netlist, vector)
-        if values[trojan.trigger_net] & 1:
-            return DetectionOutcome(True, dict(vector), index + 1)
+    """Run vectors against a compromised design; stop at first trigger.
+
+    All vectors are simulated in one bit-parallel pass; the first set
+    bit of the trigger net's packed word is the first firing vector, so
+    the early-exit semantics of the sequential loop are preserved.
+    """
+    if not vectors:
+        return DetectionOutcome(False, None, 0)
+    compiled = get_compiled(trojan.netlist)
+    width = len(vectors)
+    stimulus = pack_patterns(list(vectors), compiled.input_names)
+    word = compiled.eval_words(stimulus, width)[
+        compiled.index[trojan.trigger_net]]
+    if word:
+        index = (word & -word).bit_length() - 1  # lowest set bit
+        return DetectionOutcome(True, dict(vectors[index]), index + 1)
     return DetectionOutcome(False, None, len(vectors))
 
 
@@ -177,12 +188,20 @@ def pair_trigger_coverage(netlist: Netlist,
         pairs = rng.sample(pairs, max_pairs)
     if not pairs:
         return 1.0
-    simulations = [simulate(netlist, vec) for vec in vectors]
+    # One packed simulation covers the whole vector set; a pair is
+    # covered iff some bit position holds both rare values at once.
+    compiled = get_compiled(netlist)
+    width = len(vectors)
+    mask = (1 << width) - 1
+    stimulus = pack_patterns(list(vectors), compiled.input_names)
+    words = compiled.eval_words(stimulus, width)
+    rare_word = [
+        words[compiled.index[net]] if value else
+        ~words[compiled.index[net]] & mask
+        for net, value, _ in targets
+    ]
     covered = 0
     for ia, ib in pairs:
-        net_a, val_a, _ = targets[ia]
-        net_b, val_b, _ = targets[ib]
-        if any(vals[net_a] == val_a and vals[net_b] == val_b
-               for vals in simulations):
+        if rare_word[ia] & rare_word[ib]:
             covered += 1
     return covered / len(pairs)

@@ -1,0 +1,167 @@
+"""Property tests for the compiled simulation engine.
+
+The compiled engine (:mod:`repro.netlist.engine`) must be bit-exact
+with the interpreted reference semantics
+(:func:`repro.netlist.simulate_reference`) on arbitrary netlists, at
+arbitrary pattern widths, and must transparently recompile after any
+structural mutation.  Hypothesis generates the netlists; the reference
+interpreter is the executable specification.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    GateType,
+    Netlist,
+    get_compiled,
+    simulate,
+    simulate_reference,
+)
+from repro.netlist.generators import c17
+
+_VARIADIC = (
+    GateType.AND, GateType.NAND, GateType.OR,
+    GateType.NOR, GateType.XOR, GateType.XNOR,
+)
+_UNARY = (GateType.BUF, GateType.NOT)
+_NULLARY = (GateType.CONST0, GateType.CONST1)
+
+
+@st.composite
+def combinational_netlists(draw) -> Netlist:
+    """Random combinational DAG over every gate type (incl. MUX/CONST)."""
+    n_inputs = draw(st.integers(min_value=1, max_value=6))
+    n = Netlist("prop_comb")
+    nets = [n.add_input(f"in{i}") for i in range(n_inputs)]
+    n_gates = draw(st.integers(min_value=1, max_value=30))
+    for k in range(n_gates):
+        kind = draw(st.sampled_from(
+            _VARIADIC + _UNARY + _NULLARY + (GateType.MUX,)))
+        if kind in _NULLARY:
+            fanins = []
+        elif kind in _UNARY:
+            fanins = [draw(st.sampled_from(nets))]
+        elif kind is GateType.MUX:
+            fanins = [draw(st.sampled_from(nets)) for _ in range(3)]
+        else:
+            arity = draw(st.integers(min_value=2, max_value=4))
+            fanins = [draw(st.sampled_from(nets)) for _ in range(arity)]
+        nets.append(n.add_gate(f"g{k}", kind, fanins))
+    n.add_output(nets[-1])
+    return n
+
+
+@st.composite
+def sequential_netlists(draw) -> Netlist:
+    """Random netlist with DFFs feeding back into the logic."""
+    n = draw(combinational_netlists())
+    gate_nets = list(n.gates)
+    n_flops = draw(st.integers(min_value=1, max_value=4))
+    flop_outputs = []
+    for k in range(n_flops):
+        # D pin wired after the fact: forward references are legal.
+        flop_outputs.append(n.add_gate(f"ff{k}", GateType.DFF, [f"d{k}"]))
+    # State feeds back into fresh logic so flop values matter.
+    for k, ff in enumerate(flop_outputs):
+        other = draw(st.sampled_from(gate_nets))
+        mixed = n.add_gate(f"mix{k}", GateType.XOR, [ff, other])
+        n.add_gate(f"d{k}", GateType.BUF,
+                   [draw(st.sampled_from(gate_nets + [mixed]))])
+        n.add_output(mixed)
+    return n
+
+
+def _stimulus(draw, names, width):
+    return {
+        name: draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        for name in names
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_compiled_matches_reference_combinational(data):
+    netlist = data.draw(combinational_netlists())
+    width = data.draw(st.integers(min_value=1, max_value=256))
+    inputs = _stimulus(data.draw, netlist.inputs, width)
+    assert simulate(netlist, inputs, width) == \
+        simulate_reference(netlist, inputs, width)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_compiled_matches_reference_sequential(data):
+    netlist = data.draw(sequential_netlists())
+    width = data.draw(st.integers(min_value=1, max_value=256))
+    state = _stimulus(data.draw, netlist.flops, width)
+    mask = (1 << width) - 1
+    # Multi-cycle: advance the reference state and compare every cycle.
+    for _ in range(3):
+        inputs = _stimulus(data.draw, netlist.inputs, width)
+        got = simulate(netlist, inputs, width, state)
+        want = simulate_reference(netlist, inputs, width, state)
+        assert got == want
+        state = {
+            ff: want[netlist.gates[ff].fanins[0]] & mask
+            for ff in netlist.flops
+        }
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_mutation_invalidates_compiled_cache(data):
+    """Mutate-then-resimulate must reflect the new structure exactly."""
+    netlist = data.draw(combinational_netlists())
+    width = data.draw(st.integers(min_value=1, max_value=64))
+    inputs = _stimulus(data.draw, netlist.inputs, width)
+    simulate(netlist, inputs, width)  # populate the compiled cache
+    before = get_compiled(netlist)
+    # Invert the output cone: rewire all consumers of some gate through
+    # a fresh inverter, then re-simulate without any manual cache pokes.
+    victim = data.draw(st.sampled_from(
+        [g for g in netlist.gates
+         if netlist.gates[g].gate_type is not GateType.INPUT]))
+    inv = netlist.add_gate("prop_inv", GateType.NOT, [victim])
+    netlist.rewire_consumers(victim, inv)
+    netlist.replace_fanin(inv, inv, victim)  # undo self-loop
+    got = simulate(netlist, inputs, width)
+    assert get_compiled(netlist) is not before
+    assert got == simulate_reference(netlist, inputs, width)
+
+
+def test_mutation_changes_results():
+    """A concrete end-to-end check that stale programs are never reused."""
+    n = c17()
+    inputs = {name: 0b1011 for name in n.inputs}
+    first = simulate(n, inputs, width=4)
+    inv = n.add_gate("flip", GateType.NOT, ["G22"])
+    n.rewire_consumers("G22", inv)
+    n.replace_fanin(inv, inv, "G22")  # undo self-loop
+    second = simulate(n, inputs, width=4)
+    assert n.outputs[0] == "flip"
+    assert second["flip"] == (~first["G22"]) & 0b1111
+    assert second == simulate_reference(n, inputs, width=4)
+
+
+def test_input_and_flop_caches_invalidate():
+    n = c17()
+    assert n.inputs == ["G1", "G2", "G3", "G6", "G7"]
+    n.add_input("G99")
+    assert "G99" in n.inputs
+    assert n.flops == []
+    n.add_gate("ffq", GateType.DFF, ["G99"])
+    assert n.flops == ["ffq"]
+    # The property returns copies: callers cannot poison the cache.
+    n.inputs.append("bogus")
+    assert "bogus" not in n.inputs
+
+
+def test_empty_and_input_only_netlists():
+    empty = Netlist("empty")
+    assert simulate(empty, {}) == {}
+    wires = Netlist("wires")
+    wires.add_input("a")
+    wires.add_output("a")
+    assert simulate(wires, {"a": 0b101}, width=3) == {"a": 0b101}
