@@ -62,7 +62,7 @@ def test_fig1_secure_flow_contrast(benchmark):
                           placement_iterations=1500)
         return flow.run(masked_and_design())
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
     checks = result.report.total_security_checks
     print("\n=== contrast: the security-centric flow on the same "
           "substrate ===")

@@ -4,16 +4,19 @@
 1. Build a masked (private-circuit) AND gadget — TVLA passes.
 2. Let a classical, security-unaware optimizer re-associate its XOR
    trees for timing — function preserved, TVLA now fails (Fig. 2).
-3. Run the same design through the secure-composition engine, which
-   catches the break automatically (Sec. IV).
+3. Run the same pipeline through the pass manager, where every
+   transform declares what it preserves or invalidates — the break is
+   caught by flow infrastructure, and passes that declare
+   ``preserves: masking`` don't even trigger a re-measurement.
 
 Run:  python examples/quickstart.py
 """
 
 import random
 
-from repro.core import CompositionEngine, masked_and_design, \
-    timing_reassociation_step
+from repro.flow import (BufferSweepPass, PassManager, ReassociationPass,
+                        SecurityProperty, default_checkers)
+from repro.core import masked_and_design
 from repro.sca import (isw_and_netlist, leakage_traces,
                        random_share_stimulus, tvla)
 from repro.synth import reassociate_for_timing
@@ -51,14 +54,20 @@ def main() -> None:
     print(f"   TVLA max|t| = {result2.max_abs_t:.2f}  "
           f"leaks: {result2.leaks}   <-- masking destroyed")
 
-    print("== 3. the secure-composition engine catches it ==")
-    engine = CompositionEngine(n_traces=4000, seed=5)
-    _, report = engine.compose(masked_and_design(),
-                               [timing_reassociation_step()])
-    for effect in report.harmful_effects:
-        print(f"   FLAGGED: {effect.countermeasure} degraded "
-              f"{effect.metric}: {effect.before:.2f} -> "
-              f"{effect.after:.2f} ({effect.note})")
+    print("== 3. the pass manager catches it (declared effects) ==")
+    manager = PassManager(checkers=default_checkers(n_traces=3000), seed=5)
+    outcome = manager.run(
+        masked_and_design(),
+        [BufferSweepPass(),                      # preserves: masking
+         ReassociationPass(rng_prefix="r_")],    # invalidates: masking
+        goals=[SecurityProperty.TVLA_BOUND, SecurityProperty.MASKING],
+        assume=[SecurityProperty.TVLA_BOUND, SecurityProperty.MASKING])
+    print("   bufsweep re-checked:", outcome.trace.rechecked_properties(
+        "bufsweep") or "nothing (declares preserves)")
+    print("   reassoc-timing re-checked:",
+          outcome.trace.rechecked_properties("reassoc-timing"))
+    for line in outcome.failures:
+        print(f"   FLAGGED: {line}")
 
 
 if __name__ == "__main__":

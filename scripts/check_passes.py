@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Static audit of the flow pass registry.
+
+Walks every registered :class:`repro.flow.Pass` and fails on:
+
+* a missing or non-Table-II ``stage``,
+* a missing ``effects`` declaration,
+* an effects declaration that is not *total* — every tracked
+  :class:`~repro.flow.properties.SecurityProperty` must be explicitly
+  preserved, established, or invalidated (the manager treats undeclared
+  as invalidated, but a pass relying on that default is a pass nobody
+  has thought about — exactly what this check exists to catch),
+* a registry-key / class-attribute name mismatch,
+* a pass class without a docstring (the declaration's rationale).
+
+Run directly (exit 1 on problems) or import :func:`audit` from a test.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_passes.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def audit() -> List[str]:
+    """Return one problem string per registry violation (empty = clean)."""
+    from repro.core.stages import DesignStage
+    from repro.flow import Effects, registered_passes
+
+    problems: List[str] = []
+    for name, cls in sorted(registered_passes().items()):
+        where = f"{cls.__module__}.{cls.__qualname__}"
+        if cls.name != name:
+            problems.append(
+                f"{name}: registry key does not match {where}.name "
+                f"({cls.name!r})")
+        if not isinstance(cls.stage, DesignStage):
+            problems.append(
+                f"{name}: missing stage (must be a DesignStage / "
+                f"Table II row), got {cls.stage!r}")
+        if not isinstance(cls.effects, Effects):
+            problems.append(
+                f"{name}: missing effects declaration ({where})")
+        else:
+            undeclared = cls.effects.undeclared
+            if undeclared:
+                props = ", ".join(sorted(p.value for p in undeclared))
+                problems.append(
+                    f"{name}: undeclared effect on {props} — declare "
+                    f"preserves/establishes/invalidates explicitly")
+        if not (cls.__doc__ or "").strip():
+            problems.append(f"{name}: pass class {where} has no "
+                            "docstring explaining its declaration")
+    return problems
+
+
+def main() -> int:
+    problems = audit()
+    from repro.flow import registered_passes
+
+    total = len(registered_passes())
+    if problems:
+        print(f"pass registry audit: {len(problems)} problem(s) "
+              f"across {total} registered passes")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"pass registry audit: {total} passes, all declarations total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from ..fia import fault_campaign
-from ..sca import TVLA_THRESHOLD, leakage_traces, locate_leaking_nets, tvla
+from ..flow.properties import (
+    fault_detection_check,
+    masking_check,
+    no_flow_check,
+    tvla_check,
+)
+from ..sca import TVLA_THRESHOLD
 from .composition import Design
 from .threats import ThreatVector
 
@@ -66,17 +71,11 @@ class NoFlowConstraint(SecurityConstraint):
 
     def discharge(self, design: Design) -> Obligation:
         """Prove non-interference by the two-copy SAT encoding."""
-        from ..formal.glift import prove_no_flow
-
-        result = prove_no_flow(design.netlist, self.source, self.target,
-                               fixed=self.when)
+        result = no_flow_check(design, self.source, self.target,
+                               when=self.when)
         label = (f"{self.name}: {self.source} -/-> {self.target}"
                  + (f" when {self.when}" if self.when else ""))
-        if result.isolated:
-            return Obligation(label, True,
-                              "SAT-proved non-interference")
-        return Obligation(label, False,
-                          f"flow witness found: {result.witness}")
+        return Obligation(label, result.passed, result.message)
 
 
 @dataclass
@@ -91,20 +90,14 @@ class LeakageConstraint(SecurityConstraint):
     threat: ThreatVector = ThreatVector.SIDE_CHANNEL
 
     def discharge(self, design: Design) -> Obligation:
-        """Measure fixed-vs-random TVLA against the bound."""
-        fixed = design.make_stimuli(self.n_traces, True, self.seed)
-        rand = design.make_stimuli(self.n_traces, False, self.seed + 1)
-        result = tvla(
-            leakage_traces(design.netlist, fixed,
-                           noise_sigma=self.noise_sigma, seed=self.seed),
-            leakage_traces(design.netlist, rand,
-                           noise_sigma=self.noise_sigma,
-                           seed=self.seed + 1))
+        """Measure fixed-vs-random TVLA against the bound (shared
+        checker — the same implementation the pass manager runs)."""
+        result = tvla_check(design, n_traces=self.n_traces,
+                            noise_sigma=self.noise_sigma,
+                            threshold=self.max_t, seed=self.seed)
         return Obligation(
             f"{self.name}: max|t| <= {self.max_t}",
-            result.max_abs_t <= self.max_t,
-            f"measured max|t| = {result.max_abs_t:.2f} at "
-            f"{self.n_traces} traces/class")
+            result.passed, result.message)
 
 
 @dataclass
@@ -120,21 +113,10 @@ class MaskingConstraint(SecurityConstraint):
 
     def discharge(self, design: Design) -> Obligation:
         """Check every individual wire's fixed-vs-random balance."""
-        fixed = design.make_stimuli(self.n_traces, True, self.seed + 2)
-        rand = design.make_stimuli(self.n_traces, False, self.seed + 3)
-        entries = locate_leaking_nets(design.netlist, fixed, rand,
-                                      seed=self.seed)
-        leaky = [e for e in entries if abs(e.t_statistic) > self.max_t]
-        if not leaky:
-            return Obligation(
-                f"{self.name}: every wire balanced", True,
-                f"worst per-net |t| = "
-                f"{abs(entries[0].t_statistic):.2f}" if entries else
-                "no nets")
-        return Obligation(
-            f"{self.name}: every wire balanced", False,
-            f"{len(leaky)} unmasked wires, worst {leaky[0].net} "
-            f"|t| = {abs(leaky[0].t_statistic):.1f}")
+        result = masking_check(design, n_traces=self.n_traces,
+                               threshold=self.max_t, seed=self.seed)
+        return Obligation(f"{self.name}: every wire balanced",
+                          result.passed, result.message)
 
 
 @dataclass
@@ -150,20 +132,12 @@ class DetectionConstraint(SecurityConstraint):
 
     def discharge(self, design: Design) -> Obligation:
         """Run the fault campaign against the coverage floor."""
-        faults = design.fault_sites()
-        if design.alarm is None:
-            return Obligation(
-                f"{self.name}: coverage >= {self.min_coverage}", False,
-                "design has no alarm output")
-        report = fault_campaign(
-            design.netlist, faults, n_vectors=self.n_vectors,
-            alarm=design.alarm, payload_outputs=design.payload_outputs,
-            seed=self.seed)
-        ok = (report.coverage >= self.min_coverage
-              and report.silent == 0)
-        return Obligation(
-            f"{self.name}: coverage >= {self.min_coverage}", ok,
-            report.summary())
+        result = fault_detection_check(design,
+                                       min_coverage=self.min_coverage,
+                                       n_vectors=self.n_vectors,
+                                       seed=self.seed)
+        return Obligation(f"{self.name}: coverage >= {self.min_coverage}",
+                          result.passed, result.message)
 
 
 @dataclass

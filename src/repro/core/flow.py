@@ -10,19 +10,26 @@
 * the re-verification loop: after every design change (optimization or
   countermeasure), all requirements are re-checked, so nothing is
   "inadvertently compromised".
+
+Since the pass-manager refactor this class is a thin pipeline
+definition over :class:`repro.flow.PassManager`: requirements become
+property checkers, transforms run as effect-undeclared (conservative)
+passes — which is exactly the re-check-everything loop above — and the
+run additionally yields the manager's machine-readable
+:class:`~repro.flow.manager.FlowTrace` as ``result.trace``.  The
+measurement logic itself (TVLA, per-net leakage) lives once, in
+:mod:`repro.flow.properties`.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from ..netlist import ppa_report
-from ..physical import annealing_placement, critical_path_placed
-from ..sca import TVLA_THRESHOLD, leakage_traces, locate_leaking_nets, tvla
+from ..sca import TVLA_THRESHOLD
+from ..flow.properties import masking_check, tvla_check
 from .composition import Design
-from .stages import DesignStage, FlowReport, StageRecord
+from .stages import DesignStage, FlowReport
 from .threats import ThreatVector
 
 
@@ -44,7 +51,12 @@ class CheckResult:
 
 
 class SecureFlowContext:
-    """Everything a requirement check may inspect."""
+    """Everything a requirement check may inspect.
+
+    Kept for API compatibility; requirement checks now also accept the
+    pass manager's :class:`repro.flow.manager.FlowContext`, which has
+    the same ``design`` / ``placement`` surface plus an analysis cache.
+    """
 
     def __init__(self, design: Design) -> None:
         self.design = design
@@ -56,6 +68,8 @@ class SecureFlowResult:
     design: Design
     report: FlowReport
     failures: List[str] = field(default_factory=list)
+    #: Pass-manager provenance (per-pass timing, re-check outcomes).
+    trace: Optional[object] = None
 
     @property
     def all_passed(self) -> bool:
@@ -68,19 +82,10 @@ def tvla_requirement(n_traces: int = 4000, noise_sigma: float = 0.25,
     """Fixed-vs-random leakage must stay below the TVLA threshold."""
 
     def check(ctx: SecureFlowContext) -> CheckResult:
-        design = ctx.design
-        fixed = design.make_stimuli(n_traces, True, seed)
-        rand = design.make_stimuli(n_traces, False, seed + 1)
-        result = tvla(
-            leakage_traces(design.netlist, fixed,
-                           noise_sigma=noise_sigma, seed=seed),
-            leakage_traces(design.netlist, rand,
-                           noise_sigma=noise_sigma, seed=seed + 1))
-        return CheckResult(
-            passed=result.max_abs_t <= threshold,
-            value=result.max_abs_t,
-            message=f"TVLA max|t| = {result.max_abs_t:.2f} "
-                    f"(threshold {threshold})")
+        result = tvla_check(ctx.design, n_traces=n_traces,
+                            noise_sigma=noise_sigma, threshold=threshold,
+                            seed=seed, cache=getattr(ctx, "cache", None))
+        return CheckResult(result.passed, result.value, result.message)
 
     return SecurityRequirement(
         "tvla-first-order", ThreatVector.SIDE_CHANNEL,
@@ -93,17 +98,10 @@ def no_leaky_net_requirement(n_traces: int = 3000,
     """No individual wire may pass the per-net leakage test."""
 
     def check(ctx: SecureFlowContext) -> CheckResult:
-        design = ctx.design
-        fixed = design.make_stimuli(n_traces, True, seed + 2)
-        rand = design.make_stimuli(n_traces, False, seed + 3)
-        entries = locate_leaking_nets(design.netlist, fixed, rand,
-                                      seed=seed)
-        leaky = [e for e in entries if abs(e.t_statistic) > threshold]
-        worst = abs(entries[0].t_statistic) if entries else 0.0
-        message = (f"{len(leaky)} leaking nets"
-                   + (f", worst {entries[0].net} |t|={worst:.1f}"
-                      if leaky else ""))
-        return CheckResult(not leaky, float(len(leaky)), message)
+        result = masking_check(ctx.design, n_traces=n_traces,
+                               threshold=threshold, seed=seed,
+                               cache=getattr(ctx, "cache", None))
+        return CheckResult(result.passed, result.value, result.message)
 
     return SecurityRequirement(
         "no-leaky-wire", ThreatVector.SIDE_CHANNEL,
@@ -116,9 +114,11 @@ class SecureFlow:
     ``transforms`` are design-mutating steps (countermeasures or
     optimizations) executed in order after logic synthesis; after each,
     every requirement is re-checked (the paper's "re-run the
-    security-centric flow" loop).  Synthesis of the functional netlist
-    itself is kept security-aware by *not* running restructuring passes
-    across masking boundaries.
+    security-centric flow" loop).  Under the pass manager this is the
+    *conservative* pipeline: legacy transforms declare no effects, so
+    the manager schedules a full re-check after each — migrating a
+    transform to a registered pass with real declarations is what makes
+    its re-verification incremental.
     """
 
     def __init__(self, requirements: Sequence[SecurityRequirement],
@@ -130,50 +130,29 @@ class SecureFlow:
         self.placement_iterations = placement_iterations
         self.seed = seed
 
-    def _check_all(self, ctx: SecureFlowContext, record: StageRecord,
-                   failures: List[str], when: str) -> None:
-        for requirement in self.requirements:
-            result = requirement.check(ctx)
-            status = "PASS" if result.passed else "FAIL"
-            line = (f"{requirement.name} [{when}]: {status} — "
-                    f"{result.message}")
-            record.security_checks.append(line)
-            if not result.passed:
-                failures.append(line)
-
     def run(self, design: Design) -> SecureFlowResult:
         """Run stages + transforms, re-checking requirements after each."""
-        report = FlowReport(design.name)
-        failures: List[str] = []
-        ctx = SecureFlowContext(design)
+        from ..flow import PassManager, secure_pipeline, to_flow_report
+        from ..flow.properties import PropertyCheck
+        from ..netlist import ppa_report
 
-        record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
-        record.actions.append("security-aware synthesis: restructuring "
-                              "suppressed inside masked regions")
-        self._check_all(ctx, record, failures, "post-synthesis")
-        report.records.append(record)
+        def adapt(requirement: SecurityRequirement) -> Callable:
+            def checker(ctx) -> PropertyCheck:
+                result = requirement.check(ctx)
+                return PropertyCheck(requirement.name, result.passed,
+                                     result.value, result.message)
+            return checker
 
-        for transform in self.transforms:
-            new_design = transform.apply(ctx.design)
-            new_design.applied.append(transform.name)
-            ctx = SecureFlowContext(new_design)
-            record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
-            record.actions.append(f"applied transform: {transform.name}")
-            self._check_all(ctx, record, failures,
-                            f"after {transform.name}")
-            report.records.append(record)
-
-        placed = annealing_placement(
-            ctx.design.netlist, iterations=self.placement_iterations,
+        names = [r.name for r in self.requirements]
+        manager = PassManager(
+            checkers={r.name: adapt(r) for r in self.requirements},
             seed=self.seed)
-        ctx.placement = placed.placement
-        record = StageRecord(DesignStage.PHYSICAL_SYNTHESIS)
-        record.metrics["hpwl"] = placed.final_hpwl
-        record.metrics["critical_path_ps"] = critical_path_placed(
-            ctx.design.netlist, placed.placement)
-        record.actions.append("placement (security checks re-run)")
-        self._check_all(ctx, record, failures, "post-placement")
-        report.records.append(record)
-
-        report.final_ppa = ppa_report(ctx.design.netlist)
-        return SecureFlowResult(ctx.design, report, failures)
+        outcome = manager.run(
+            design,
+            secure_pipeline(self.transforms, self.placement_iterations),
+            goals=names, assume=names)
+        report = to_flow_report(outcome.trace)
+        report.final_ppa = ppa_report(outcome.design.netlist)
+        return SecureFlowResult(outcome.design, report,
+                                list(outcome.failures),
+                                trace=outcome.trace)

@@ -14,16 +14,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..dft import run_atpg
 from ..netlist import Netlist, ppa_report
 from ..netlist.metrics import PPAReport
-from ..physical import (
-    Placement,
-    annealing_placement,
-    critical_path_placed,
-    power_density_map,
-)
-from ..synth import SynthesisFlow, standard_library
+from ..physical import Placement
 
 
 class DesignStage(enum.Enum):
@@ -92,6 +85,12 @@ class ClassicalFlow:
 
     Parameters bound the effort of each engine so the flow stays fast
     on test-sized designs.
+
+    Since the pass-manager refactor this is a thin wrapper over
+    :func:`repro.flow.classical_pipeline` run with *no* tracked
+    properties (``goals=()``), so its report has an empty
+    ``security_checks`` list by construction — the classical flow's
+    defining gap, now visible in the pipeline definition itself.
     """
 
     def __init__(self, placement_iterations: int = 6000,
@@ -103,62 +102,21 @@ class ClassicalFlow:
 
     def run(self, netlist: Netlist) -> ClassicalFlowResult:
         """Run all classical stages; returns netlist, placement, report."""
-        report = FlowReport(netlist.name)
-
-        # Logic synthesis + technology mapping.
-        synth = SynthesisFlow(library=standard_library())
-        result = synth.run(netlist)
-        optimized = result.netlist
-        record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
-        record.actions.append(
-            f"optimized {result.ppa_before.cell_count} -> "
-            f"{result.ppa_after.cell_count} cells, mapped to std library"
+        from ..flow import (
+            PassManager,
+            classical_pipeline,
+            netlist_design,
+            to_flow_report,
         )
-        record.metrics["area"] = result.ppa_after.area
-        record.metrics["area_reduction"] = result.area_reduction
-        report.records.append(record)
 
-        # Functional validation: spot equivalence via simulation only
-        # (classical flows trust their own rewrites or run LEC; no
-        # security properties are checked either way).
-        record = StageRecord(DesignStage.FUNCTIONAL_VALIDATION)
-        record.actions.append("logic equivalence assumed from certified "
-                              "rewrites (no security properties checked)")
-        report.records.append(record)
-
-        # Physical synthesis.
-        placed = annealing_placement(
-            optimized, iterations=self.placement_iterations,
-            seed=self.seed)
-        record = StageRecord(DesignStage.PHYSICAL_SYNTHESIS)
-        record.actions.append(
-            f"annealing placement: HPWL {placed.initial_hpwl:.0f} -> "
-            f"{placed.final_hpwl:.0f}"
-        )
-        record.metrics["hpwl"] = placed.final_hpwl
-        report.records.append(record)
-
-        # Timing / power sign-off.
-        record = StageRecord(DesignStage.TIMING_POWER_VERIFICATION)
-        delay = critical_path_placed(optimized, placed.placement)
-        record.metrics["critical_path_ps"] = delay
-        density = power_density_map(optimized, placed.placement)
-        record.metrics["max_power_density"] = float(density.max())
-        record.actions.append("wire-aware STA and IR-drop proxy check")
-        report.records.append(record)
-
-        # Testing.
-        record = StageRecord(DesignStage.TESTING)
-        if self.run_atpg_stage:
-            atpg = run_atpg(optimized, random_budget=32, seed=self.seed)
-            record.metrics["stuck_at_coverage"] = atpg.coverage
-            record.actions.append(
-                f"ATPG: {len(atpg.vectors)} vectors, "
-                f"{len(atpg.untestable)} redundant faults"
-            )
-        else:
-            record.actions.append("ATPG skipped (flow configuration)")
-        report.records.append(record)
-
-        report.final_ppa = ppa_report(optimized)
-        return ClassicalFlowResult(optimized, placed.placement, report)
+        design = netlist_design(netlist.copy(), name=netlist.name,
+                                seed=self.seed)
+        manager = PassManager(seed=self.seed)
+        outcome = manager.run(
+            design,
+            classical_pipeline(self.placement_iterations,
+                               self.run_atpg_stage))
+        report = to_flow_report(outcome.trace)
+        report.final_ppa = ppa_report(outcome.design.netlist)
+        return ClassicalFlowResult(outcome.design.netlist,
+                                   outcome.context.placement, report)

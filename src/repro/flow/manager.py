@@ -1,0 +1,369 @@
+"""The pass manager: pipelines, incremental re-verification, provenance.
+
+:class:`PassManager` is the paper's re-verification loop made
+incremental.  It runs a pipeline of registered passes over a
+:class:`~repro.core.composition.Design`, and after each pass consults
+the pass's declared :class:`~repro.flow.passes.Effects` to decide which
+tracked security properties must be re-measured:
+
+* *establishes* — the property is checked right after the pass (did the
+  countermeasure actually work?);
+* *invalidates* (or undeclared — the conservative default) — the
+  property is re-checked, but only if it currently held;
+* *preserves* — the property is carried forward with **no** re-check.
+
+Everything the run did — wall time per pass, cell deltas, which
+properties were re-checked and why, cache hit rates, netlist mutation
+epochs — lands in a machine-readable :class:`FlowTrace`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.composition import Design
+from ..core.stages import DesignStage, FlowReport, StageRecord
+from .analysis import AnalysisCache
+from .passes import Pass, PassResult
+from .properties import PropertyCheck, SecurityProperty
+
+
+def _key(prop) -> str:
+    """Display/dict key for a property (enum value or custom string)."""
+    return prop.value if isinstance(prop, SecurityProperty) else str(prop)
+
+
+class FlowContext:
+    """Mutable state threaded through a pipeline run.
+
+    Passes read and update ``design`` (via their returned
+    :class:`~repro.flow.passes.PassResult`), share analyses through
+    ``cache``, publish side artifacts (placement, scan chain, ATPG
+    results) into ``placement`` / ``notes``, and derive determinism
+    from ``seed``.
+    """
+
+    def __init__(self, design: Design, cache: Optional[AnalysisCache] = None,
+                 seed: int = 0) -> None:
+        self.design = design
+        self.cache = cache if cache is not None else AnalysisCache()
+        self.seed = seed
+        self.placement = None
+        self.notes: Dict[str, object] = {}
+
+
+@dataclass
+class PropertyRecheck:
+    """One property measurement scheduled by the manager."""
+
+    key: str                   # property key ("masking", "tvla-bound", ...)
+    when: str                  # "baseline" | "after <pass>" | "final"
+    reason: str                # "baseline" | "establishes" | "invalidates"
+    passed: bool
+    value: float
+    message: str
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+    @property
+    def line(self) -> str:
+        """Legacy-format check line (matches SecureFlow reports)."""
+        return f"{self.key} [{self.when}]: {self.status} — {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"property": self.key, "when": self.when,
+                "reason": self.reason, "status": self.status,
+                "value": self.value, "message": self.message}
+
+
+@dataclass
+class PassProvenance:
+    """What one pass did: timing, size delta, re-checks, cache traffic."""
+
+    pass_name: str
+    stage: Optional[DesignStage]
+    effects: Dict[str, List[str]]
+    wall_ms: float
+    cells_before: int
+    cells_after: int
+    rewrites: int
+    summary: str
+    details: Dict[str, object] = field(default_factory=dict)
+    rechecks: List[PropertyRecheck] = field(default_factory=list)
+    epoch_before: int = 0
+    epoch_after: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pass": self.pass_name,
+            "stage": self.stage.value if self.stage else None,
+            "effects": self.effects,
+            "wall_ms": round(self.wall_ms, 3),
+            "cells_before": self.cells_before,
+            "cells_after": self.cells_after,
+            "rewrites": self.rewrites,
+            "summary": self.summary,
+            "details": {k: v for k, v in self.details.items()
+                        if isinstance(v, (int, float, str, bool))},
+            "rechecks": [r.as_dict() for r in self.rechecks],
+            "epoch": [self.epoch_before, self.epoch_after],
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+        }
+
+
+@dataclass
+class FlowTrace:
+    """Machine-readable provenance of a full pipeline run."""
+
+    design_name: str
+    baseline: List[PropertyRecheck] = field(default_factory=list)
+    passes: List[PassProvenance] = field(default_factory=list)
+    final: List[PropertyRecheck] = field(default_factory=list)
+
+    def all_rechecks(self) -> List[PropertyRecheck]:
+        out = list(self.baseline)
+        for p in self.passes:
+            out.extend(p.rechecks)
+        out.extend(self.final)
+        return out
+
+    @property
+    def failures(self) -> List[str]:
+        return [r.line for r in self.all_rechecks() if not r.passed]
+
+    @property
+    def total_wall_ms(self) -> float:
+        return sum(p.wall_ms for p in self.passes)
+
+    def rechecked_properties(self, pass_name: str) -> List[str]:
+        """Property keys re-measured after the named pass."""
+        for p in self.passes:
+            if p.pass_name == pass_name:
+                return [r.key for r in p.rechecks]
+        raise KeyError(f"no pass {pass_name!r} in trace")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design_name,
+            "baseline": [r.as_dict() for r in self.baseline],
+            "passes": [p.as_dict() for p in self.passes],
+            "final": [r.as_dict() for r in self.final],
+            "failures": self.failures,
+            "total_wall_ms": round(self.total_wall_ms, 3),
+        }
+
+    def render(self) -> str:
+        """Human-readable provenance trace."""
+        lines = [f"=== flow trace: {self.design_name} ==="]
+        for r in self.baseline:
+            lines.append(f"  [baseline] {r.key}: {r.status} — {r.message}")
+        for p in self.passes:
+            stage = p.stage.value if p.stage else "?"
+            lines.append(
+                f"[{p.pass_name}] ({stage}) {p.cells_before} -> "
+                f"{p.cells_after} cells, {p.wall_ms:.1f} ms")
+            if p.summary:
+                lines.append(f"  - {p.summary}")
+            for r in p.rechecks:
+                lines.append(
+                    f"  [re-check:{r.reason}] {r.key}: {r.status} — "
+                    f"{r.message}")
+        for r in self.final:
+            lines.append(f"  [final] {r.key}: {r.status} — {r.message}")
+        status = "FAIL" if self.failures else "PASS"
+        lines.append(f"=== {status}: {len(self.failures)} failing "
+                     f"check(s), {self.total_wall_ms:.1f} ms in passes ===")
+        return "\n".join(lines)
+
+
+@dataclass
+class FlowRunResult:
+    """Outcome of :meth:`PassManager.run`."""
+
+    design: Design
+    trace: FlowTrace
+    context: FlowContext
+
+    @property
+    def failures(self) -> List[str]:
+        return self.trace.failures
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.trace.failures
+
+
+class PassManager:
+    """Runs pass pipelines with effect-driven incremental re-verification.
+
+    ``checkers`` maps property keys (usually
+    :class:`~repro.flow.properties.SecurityProperty` members, but any
+    hashable key works for custom requirements) to callables
+    ``checker(ctx) -> PropertyCheck``.
+
+    :meth:`run` tracks the properties named in ``goals`` and
+    ``assume``:
+
+    * ``assume`` properties are measured once up front (the baseline) —
+      they are expected to hold on the input design;
+    * ``goals`` properties are expected to hold at the *end*; if a run
+      finishes without any pass establishing (and thus checking) a
+      goal, it is measured once at the end.
+
+    Custom string-keyed properties have no effect declarations, so every
+    pass conservatively re-checks them — which is exactly the legacy
+    ``SecureFlow`` re-run-everything loop.
+    """
+
+    def __init__(self, checkers: Optional[Mapping] = None, seed: int = 0,
+                 cache: Optional[AnalysisCache] = None) -> None:
+        self.checkers: Dict[object, Callable] = dict(checkers or {})
+        self.seed = seed
+        self.cache = cache if cache is not None else AnalysisCache()
+
+    # -- internals -----------------------------------------------------
+
+    def _measure(self, prop, ctx: FlowContext, when: str,
+                 reason: str) -> PropertyRecheck:
+        check: PropertyCheck = self.checkers[prop](ctx)
+        return PropertyRecheck(_key(prop), when, reason, check.passed,
+                               check.value, check.message)
+
+    def _tracked(self, goals: Iterable, assume: Iterable) -> List:
+        wanted = list(assume) + [g for g in goals if g not in set(assume)]
+        missing = [p for p in wanted if p not in self.checkers]
+        if missing:
+            raise KeyError(
+                "no checker registered for tracked properties: "
+                + ", ".join(_key(p) for p in missing))
+        return wanted
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self, design: Design, passes: Sequence[Pass],
+            goals: Iterable = (), assume: Iterable = ()) -> FlowRunResult:
+        """Run ``passes`` over ``design`` with incremental re-verification."""
+        goals = tuple(goals)
+        assume = tuple(assume)
+        tracked = self._tracked(goals, assume)
+        ctx = FlowContext(design, cache=self.cache, seed=self.seed)
+        trace = FlowTrace(design.name)
+
+        held: set = set()
+        checked_ever: set = set()
+        for prop in assume:
+            recheck = self._measure(prop, ctx, "baseline", "baseline")
+            trace.baseline.append(recheck)
+            checked_ever.add(prop)
+            if recheck.passed:
+                held.add(prop)
+
+        for p in passes:
+            netlist = ctx.design.netlist
+            cells_before = len(netlist.gates)
+            epoch_before = netlist.mutation_epoch
+            hits0, misses0 = self.cache.hits, self.cache.misses
+            start = time.perf_counter()
+            result: PassResult = p.apply(netlist, ctx)
+            if result.design is not None:
+                ctx.design = result.design
+            wall_pass = time.perf_counter() - start
+            after = ctx.design.netlist
+            prov = PassProvenance(
+                pass_name=p.name, stage=p.stage,
+                effects=p.effects.as_dict() if p.effects else
+                {"preserves": [], "establishes": [], "invalidates": []},
+                wall_ms=0.0,
+                cells_before=cells_before, cells_after=len(after.gates),
+                rewrites=result.rewrites, summary=result.summary,
+                details=dict(result.details),
+                epoch_before=epoch_before,
+                epoch_after=after.mutation_epoch)
+
+            start_checks = time.perf_counter()
+            when = f"after {p.name}"
+            for prop in tracked:
+                if isinstance(prop, SecurityProperty) and p.effects:
+                    action = p.effects.classify(prop)
+                else:
+                    # Custom properties carry no effect declarations:
+                    # conservatively re-check (legacy SecureFlow loop).
+                    action = "invalidates"
+                if action == "preserves":
+                    continue
+                if action == "invalidates" and prop not in held:
+                    continue  # nothing established yet -> nothing to lose
+                reason = ("establishes" if action == "establishes"
+                          else "invalidates")
+                recheck = self._measure(prop, ctx, when, reason)
+                prov.rechecks.append(recheck)
+                checked_ever.add(prop)
+                if recheck.passed:
+                    held.add(prop)
+                else:
+                    held.discard(prop)
+            wall_checks = time.perf_counter() - start_checks
+            prov.wall_ms = (wall_pass + wall_checks) * 1000.0
+            prov.cache_hits = self.cache.hits - hits0
+            prov.cache_misses = self.cache.misses - misses0
+            trace.passes.append(prov)
+
+        for prop in goals:
+            if prop in checked_ever:
+                continue
+            recheck = self._measure(prop, ctx, "final", "baseline")
+            trace.final.append(recheck)
+            if recheck.passed:
+                held.add(prop)
+
+        return FlowRunResult(ctx.design, trace, ctx)
+
+
+def to_flow_report(trace: FlowTrace,
+                   stage_order: Optional[Tuple[DesignStage, ...]] = None
+                   ) -> FlowReport:
+    """Project a :class:`FlowTrace` onto the legacy stage-record report.
+
+    Each pass becomes one :class:`~repro.core.stages.StageRecord` under
+    its declared stage, with its summary as the action line, numeric
+    details as metrics, and re-check lines as security checks — so
+    legacy consumers (tests, benchmarks, ``render()``) keep working on
+    pipeline-produced flows.
+    """
+    del stage_order  # passes already carry their stage; order = pipeline
+    report = FlowReport(trace.design_name)
+    if trace.baseline:
+        record = StageRecord(DesignStage.LOGIC_SYNTHESIS)
+        record.actions.append("baseline property measurement")
+        record.security_checks.extend(r.line for r in trace.baseline)
+        report.records.append(record)
+    for p in trace.passes:
+        record = StageRecord(p.stage if p.stage else
+                             DesignStage.LOGIC_SYNTHESIS)
+        record.actions.append(p.summary or f"applied pass: {p.pass_name}")
+        for k, v in p.details.items():
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                record.metrics[k] = float(v)
+        record.security_checks.extend(r.line for r in p.rechecks)
+        report.records.append(record)
+    if trace.final:
+        record = StageRecord(DesignStage.TIMING_POWER_VERIFICATION)
+        record.actions.append("final goal verification")
+        record.security_checks.extend(r.line for r in trace.final)
+        report.records.append(record)
+    return report

@@ -1,0 +1,298 @@
+"""Security properties and their shared checkers.
+
+The paper's secure-composition thesis needs a vocabulary for *what a
+transform may destroy*: masking-domain separation, the TVLA bound,
+no-flow (GLIFT) obligations, fault-detection coverage, scan leakage,
+and functional equivalence.  :class:`SecurityProperty` names them;
+the ``*_check`` functions in this module are the **single**
+implementation of each property's measurement, shared by
+
+* the pass manager's re-verification loop (:mod:`repro.flow.manager`),
+* the legacy :class:`repro.core.flow.SecureFlow` requirements, and
+* the constraint compiler (:mod:`repro.core.constraints`),
+
+so the TVLA logic — previously duplicated between
+``core.flow.tvla_requirement`` and ``core.constraints.LeakageConstraint``
+— now exists exactly once.
+
+This module deliberately imports nothing from :mod:`repro.core` at
+module level (only under ``TYPE_CHECKING``): ``repro.core`` submodules
+import it at their own import time, and keeping this side of the edge
+core-free is what makes that cycle-safe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..sca import TVLA_THRESHOLD, leakage_traces, locate_leaking_nets, tvla
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.composition import Design
+    from .analysis import AnalysisCache
+
+
+class SecurityProperty(enum.Enum):
+    """The security/functional properties the flow tracks (Table II).
+
+    Every registered pass must classify each of these as preserved,
+    established, or invalidated — ``scripts/check_passes.py`` enforces
+    the totality of that declaration.
+    """
+
+    MASKING = "masking"
+    TVLA_BOUND = "tvla-bound"
+    NO_FLOW = "no-flow"
+    FAULT_DETECTION = "fault-detection"
+    SCAN_LEAKAGE = "scan-leakage"
+    FUNCTIONAL_EQUIVALENCE = "functional-equivalence"
+
+
+#: All tracked properties, in declaration order.
+ALL_PROPERTIES = tuple(SecurityProperty)
+
+
+@dataclass
+class PropertyCheck:
+    """Outcome of one property measurement."""
+
+    prop: object               # SecurityProperty or a custom string key
+    passed: bool
+    value: float
+    message: str
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+
+def _class_traces(design: "Design", fixed: bool, n_traces: int,
+                  noise_sigma: float, seed: int,
+                  cache: Optional["AnalysisCache"]):
+    """Leakage traces for one TVLA class, via the analysis cache.
+
+    The cache entry is keyed on the stimulus parameters and validated
+    against both the design object and the netlist mutation epoch, so a
+    re-check on an unchanged netlist (e.g. after a placement pass) is a
+    cache hit instead of a full re-simulation.
+    """
+    def build():
+        stimuli = design.make_stimuli(n_traces, fixed,
+                                      seed if fixed else seed + 1)
+        return leakage_traces(design.netlist, stimuli,
+                              noise_sigma=noise_sigma,
+                              seed=seed if fixed else seed + 1)
+
+    if cache is None:
+        return build()
+    return cache.get("leakage-traces", design.netlist, build,
+                     key=(design, fixed, n_traces, noise_sigma, seed))
+
+
+def tvla_check(design: "Design", n_traces: int = 3000,
+               noise_sigma: float = 0.25,
+               threshold: float = TVLA_THRESHOLD, seed: int = 0,
+               cache: Optional["AnalysisCache"] = None) -> PropertyCheck:
+    """Fixed-vs-random first-order TVLA against ``threshold``.
+
+    The one shared implementation of the TVLA bound check.
+    """
+    result = tvla(
+        _class_traces(design, True, n_traces, noise_sigma, seed, cache),
+        _class_traces(design, False, n_traces, noise_sigma, seed, cache))
+    return PropertyCheck(
+        SecurityProperty.TVLA_BOUND,
+        result.max_abs_t <= threshold,
+        result.max_abs_t,
+        f"TVLA max|t| = {result.max_abs_t:.2f} (threshold {threshold}) "
+        f"at {n_traces} traces/class")
+
+
+def masking_check(design: "Design", n_traces: int = 2500,
+                  threshold: float = TVLA_THRESHOLD, seed: int = 0,
+                  cache: Optional["AnalysisCache"] = None) -> PropertyCheck:
+    """Per-wire leakage test: no individual net may distinguish the
+    fixed class from the random class — the observable definition of
+    intact share encoding."""
+    del cache  # per-net values are not trace-shaped; no cache reuse yet
+    fixed = design.make_stimuli(n_traces, True, seed + 2)
+    rand = design.make_stimuli(n_traces, False, seed + 3)
+    entries = locate_leaking_nets(design.netlist, fixed, rand, seed=seed)
+    leaky = [e for e in entries if abs(e.t_statistic) > threshold]
+    worst = abs(entries[0].t_statistic) if entries else 0.0
+    message = (f"{len(leaky)} leaking nets"
+               + (f", worst {entries[0].net} |t|={worst:.1f}"
+                  if leaky else f" (worst per-net |t| = {worst:.2f})"))
+    return PropertyCheck(SecurityProperty.MASKING, not leaky,
+                         float(len(leaky)), message)
+
+
+def no_flow_check(design: "Design", source: str, target: str,
+                  when: Optional[Dict[str, int]] = None,
+                  cache: Optional["AnalysisCache"] = None) -> PropertyCheck:
+    """Two-copy SAT proof that ``source`` cannot influence ``target``."""
+    from ..formal.glift import prove_no_flow
+
+    del cache
+    result = prove_no_flow(design.netlist, source, target,
+                           fixed=dict(when or {}))
+    if result.isolated:
+        return PropertyCheck(
+            SecurityProperty.NO_FLOW, True, 0.0,
+            f"SAT-proved non-interference {source} -/-> {target}")
+    return PropertyCheck(
+        SecurityProperty.NO_FLOW, False, 1.0,
+        f"flow witness found for {source} -> {target}: {result.witness}")
+
+
+def fault_detection_check(design: "Design", min_coverage: float = 0.99,
+                          n_vectors: int = 64, seed: int = 0,
+                          cache: Optional["AnalysisCache"] = None
+                          ) -> PropertyCheck:
+    """Fault campaign over the protected region against a coverage floor."""
+    from ..fia import fault_campaign
+
+    del cache
+    if design.alarm is None:
+        return PropertyCheck(SecurityProperty.FAULT_DETECTION, False, 0.0,
+                             "design has no alarm output")
+    faults = design.fault_sites()
+    if not faults:
+        return PropertyCheck(SecurityProperty.FAULT_DETECTION, True, 1.0,
+                             "no fault sites in protected region")
+    report = fault_campaign(
+        design.netlist, faults, n_vectors=n_vectors, alarm=design.alarm,
+        payload_outputs=design.payload_outputs, seed=seed)
+    ok = report.coverage >= min_coverage and report.silent == 0
+    return PropertyCheck(SecurityProperty.FAULT_DETECTION, ok,
+                         report.coverage, report.summary())
+
+
+def scan_leakage_check(design: "Design",
+                       cache: Optional["AnalysisCache"] = None
+                       ) -> PropertyCheck:
+    """Scan access must not expose internal state to an attacker.
+
+    Structural: a design with no scan chain trivially satisfies the
+    property; one with a plain (non-secured) chain fails it, since the
+    scan attack of :mod:`repro.dft.scan_attack` reads state directly.
+    A secure-scan wrapper records itself in ``design.applied``.
+    """
+    del cache
+    if "scan_en" not in design.netlist:
+        return PropertyCheck(SecurityProperty.SCAN_LEAKAGE, True, 0.0,
+                             "no scan access present")
+    if any("secure-scan" in step for step in design.applied):
+        return PropertyCheck(SecurityProperty.SCAN_LEAKAGE, True, 0.0,
+                             "scan chain gated by secure-scan wrapper")
+    return PropertyCheck(
+        SecurityProperty.SCAN_LEAKAGE, False, 1.0,
+        "plain scan chain exposes internal state (scan attack applies)")
+
+
+def make_equivalence_check(golden: "Design", max_inputs: int = 12
+                           ) -> Callable:
+    """Checker factory: exhaustive equivalence against ``golden``'s
+    current function, for small combinational netlists.
+
+    Captures the truth tables *now*; the returned checker compares the
+    design-under-flow against them.  Designs whose port interface has
+    changed (masking, WDDL) or that exceed ``max_inputs`` report a
+    skipped-but-passing check, mirroring the classical flow's "trusted
+    certified rewrites" stance.
+    """
+    from ..netlist import exhaustive_truth_table
+
+    netlist = golden.netlist
+    if len(netlist.inputs) > max_inputs or netlist.is_sequential:
+        tables = None
+    else:
+        tables = {out: exhaustive_truth_table(netlist, out)
+                  for out in netlist.outputs}
+    golden_inputs = sorted(netlist.inputs)
+
+    def check(design: "Design",
+              cache: Optional["AnalysisCache"] = None) -> PropertyCheck:
+        del cache
+        current = design.netlist
+        if tables is None:
+            return PropertyCheck(
+                SecurityProperty.FUNCTIONAL_EQUIVALENCE, True, 0.0,
+                "equivalence assumed (design too large for exhaustive "
+                "check)")
+        if (sorted(current.inputs) != golden_inputs
+                or set(tables) - set(current.gates.keys())):
+            return PropertyCheck(
+                SecurityProperty.FUNCTIONAL_EQUIVALENCE, True, 0.0,
+                "port interface changed; equivalence tracked modulo "
+                "re-encoding")
+        mismatches = sum(
+            1 for out, table in tables.items()
+            if exhaustive_truth_table(current, out) != table)
+        return PropertyCheck(
+            SecurityProperty.FUNCTIONAL_EQUIVALENCE, mismatches == 0,
+            float(mismatches),
+            "exhaustive truth tables match" if mismatches == 0 else
+            f"{mismatches} output(s) changed function")
+
+    return check
+
+
+# ----------------------------------------------------------------------
+# Checker factories for the pass manager
+# ----------------------------------------------------------------------
+#
+# A *checker* as the manager consumes it is ``checker(ctx) ->
+# PropertyCheck`` where ``ctx`` is a :class:`repro.flow.manager.
+# FlowContext` (``ctx.design``, ``ctx.cache``, ``ctx.seed``).  The
+# factories below bind measurement budgets once and close over them.
+
+def tvla_checker(n_traces: int = 3000, noise_sigma: float = 0.25,
+                 threshold: float = TVLA_THRESHOLD) -> Callable:
+    """Manager checker for :data:`SecurityProperty.TVLA_BOUND`."""
+    def check(ctx) -> PropertyCheck:
+        return tvla_check(ctx.design, n_traces=n_traces,
+                          noise_sigma=noise_sigma, threshold=threshold,
+                          seed=ctx.seed, cache=ctx.cache)
+    return check
+
+
+def masking_checker(n_traces: int = 2500,
+                    threshold: float = TVLA_THRESHOLD) -> Callable:
+    """Manager checker for :data:`SecurityProperty.MASKING`."""
+    def check(ctx) -> PropertyCheck:
+        return masking_check(ctx.design, n_traces=n_traces,
+                             threshold=threshold, seed=ctx.seed,
+                             cache=ctx.cache)
+    return check
+
+
+def fault_detection_checker(min_coverage: float = 0.99,
+                            n_vectors: int = 64) -> Callable:
+    """Manager checker for :data:`SecurityProperty.FAULT_DETECTION`."""
+    def check(ctx) -> PropertyCheck:
+        return fault_detection_check(ctx.design, min_coverage=min_coverage,
+                                     n_vectors=n_vectors, seed=ctx.seed,
+                                     cache=ctx.cache)
+    return check
+
+
+def scan_leakage_checker() -> Callable:
+    """Manager checker for :data:`SecurityProperty.SCAN_LEAKAGE`."""
+    def check(ctx) -> PropertyCheck:
+        return scan_leakage_check(ctx.design, cache=ctx.cache)
+    return check
+
+
+def default_checkers(n_traces: int = 3000,
+                     noise_sigma: float = 0.25) -> Dict[SecurityProperty,
+                                                        Callable]:
+    """The stock checker set for pipelines over masked designs."""
+    return {
+        SecurityProperty.TVLA_BOUND: tvla_checker(n_traces, noise_sigma),
+        SecurityProperty.MASKING: masking_checker(min(n_traces, 2500)),
+        SecurityProperty.FAULT_DETECTION: fault_detection_checker(),
+        SecurityProperty.SCAN_LEAKAGE: scan_leakage_checker(),
+    }

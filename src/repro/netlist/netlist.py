@@ -47,6 +47,7 @@ class Netlist:
         self.gates: Dict[str, Gate] = {}
         self.outputs: List[str] = []
         self._uid = itertools.count()
+        self._epoch = 0
         self._topo_cache: Optional[List[str]] = None
         self._inputs_cache: Optional[List[str]] = None
         self._flops_cache: Optional[List[str]] = None
@@ -73,6 +74,10 @@ class Netlist:
         if net not in self.gates:
             raise NetlistError(f"cannot mark unknown net {net!r} as output")
         self.outputs.append(net)
+        # The output list shapes liveness (sweep_dangling) and any
+        # cached analysis keyed on the mutation epoch, so this counts
+        # as a structural mutation even though no gate changed.
+        self.invalidate()
 
     def new_name(self, prefix: str = "n") -> str:
         """Return a fresh net name not present in the netlist."""
@@ -197,15 +202,29 @@ class Netlist:
         self._topo_cache = order
         return order
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic counter bumped by every structural mutation.
+
+        External analysis caches (topological order, PPA, leakage
+        traces, the compiled simulation program — see
+        :mod:`repro.flow.analysis`) key their entries on this value:
+        a cached result is valid exactly while the epoch it was
+        computed at matches the netlist's current epoch.
+        """
+        return self._epoch
+
     def invalidate(self) -> None:
         """Drop caches after in-place mutation of gates.
 
         Clears the topological order plus the derived input/flop name
-        caches.  The compiled simulation engine
-        (:mod:`repro.netlist.engine`) keys its per-netlist cache on the
-        identity of the topo list, so dropping it here also forces a
-        recompile on the next simulation.
+        caches, and bumps :attr:`mutation_epoch` so external analysis
+        caches keyed on the epoch drop their entries too.  The compiled
+        simulation engine (:mod:`repro.netlist.engine`) keys its
+        per-netlist cache on the identity of the topo list, so dropping
+        it here also forces a recompile on the next simulation.
         """
+        self._epoch += 1
         self._topo_cache = None
         self._inputs_cache = None
         self._flops_cache = None

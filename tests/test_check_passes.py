@@ -1,0 +1,89 @@
+"""CI gates: the pass-registry static audit and the benchmark
+overhead check, both runnable (and run) as tier-1 tests."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_check_passes():
+    spec = importlib.util.spec_from_file_location(
+        "check_passes", REPO_ROOT / "scripts" / "check_passes.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPassRegistryAudit:
+    def test_registry_is_clean(self):
+        assert load_check_passes().audit() == []
+
+    def test_audit_catches_partial_declaration(self):
+        from repro.core.stages import DesignStage
+        from repro.flow import Pass, effects
+        from repro.flow import passes as passes_mod
+        from repro.flow.properties import SecurityProperty as P
+
+        check_passes = load_check_passes()
+
+        class Sloppy(Pass):
+            """Declares only one property; the other five are implicit."""
+
+            name = "sloppy-test-pass"
+
+        Sloppy.stage = DesignStage.LOGIC_SYNTHESIS
+        Sloppy.effects = effects(preserves=[P.MASKING])
+
+        class Stageless(Pass):
+            """No stage, no effects."""
+
+            name = "stageless-test-pass"
+
+        registry = passes_mod._REGISTRY
+        registry["sloppy-test-pass"] = Sloppy
+        registry["stageless-test-pass"] = Stageless
+        try:
+            problems = "\n".join(check_passes.audit())
+        finally:
+            del registry["sloppy-test-pass"]
+            del registry["stageless-test-pass"]
+        assert "sloppy-test-pass: undeclared effect" in problems
+        assert "stageless-test-pass: missing stage" in problems
+        assert "stageless-test-pass: missing effects" in problems
+        assert check_passes.audit() == []   # cleanup verified
+
+    def test_script_exits_zero_on_clean_registry(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" /
+                                 "check_passes.py")],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all declarations total" in proc.stdout
+
+
+class TestBenchmarkOverheadGate:
+    """Pipeline overhead vs the PR-1 baseline must stay bounded.
+
+    ``--check --compare-only`` deterministically compares the latest
+    committed BENCH_*.json against BENCH_1.json on the shared flow
+    benchmarks (fig1 / fig2 / AES) — no timing runs in tier-1, so the
+    gate cannot flake on machine load.
+    """
+
+    def test_committed_benchmarks_within_threshold(self):
+        runs = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert (REPO_ROOT / "BENCH_1.json").exists(), \
+            "baseline BENCH_1.json missing"
+        if len(runs) < 2:
+            import pytest
+            pytest.skip("no post-refactor BENCH_*.json committed yet")
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks" /
+                                 "run_bench.py"),
+             "--check", "--compare-only"],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, \
+            f"flow benchmarks regressed:\n{proc.stdout}{proc.stderr}"
