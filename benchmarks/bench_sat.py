@@ -1,0 +1,55 @@
+"""S1 — SAT-core microbenchmarks: the kernels behind ATPG and attacks.
+
+The incremental two-watched-literal CDCL core is the shared bottleneck
+of test generation, locking attacks, and equivalence checking (paper
+Table II puts all three on the same flow substrate).  Two workloads pin
+its performance:
+
+* deterministic stuck-at ATPG on the AES S-box — one base encode, one
+  assumption-based cone query per fault, fault dropping between
+  queries;
+* the oracle-guided SAT attack on an EPIC-locked ripple-carry adder —
+  one persistent solver across every DIP iteration and the final key
+  extraction.
+
+Both also re-verify their functional results, so a solver regression
+that returned wrong answers would fail the benchmark rather than score
+it.
+"""
+
+from repro.crypto import aes_sbox_netlist
+from repro.dft import run_atpg
+from repro.ip import attack_locked_circuit, lock_xor, verify_recovered_key
+from repro.netlist import ripple_carry_adder
+
+
+def run_atpg_aes_sbox():
+    return run_atpg(aes_sbox_netlist(), random_budget=32, seed=0)
+
+
+def test_sat_atpg_aes_sbox(benchmark):
+    result = benchmark.pedantic(run_atpg_aes_sbox, rounds=2, iterations=1)
+    print("\n=== SAT ATPG on aes_sbox ===")
+    print(f"vectors={len(result.vectors)} detected={len(result.detected)} "
+          f"untestable={len(result.untestable)} "
+          f"aborted={len(result.aborted)} coverage={result.coverage:.3f}")
+    assert not result.aborted
+    assert result.coverage == 1.0
+
+
+def run_sat_attack_locked_rca():
+    locked = lock_xor(ripple_carry_adder(8), key_bits=16, seed=3)
+    attack = attack_locked_circuit(locked, max_iterations=500)
+    return locked, attack
+
+
+def test_sat_attack_locked_rca(benchmark):
+    locked, attack = benchmark.pedantic(run_sat_attack_locked_rca,
+                                        rounds=2, iterations=1)
+    stats = attack.solver_stats
+    print("\n=== SAT attack on EPIC-locked rca8 (16 key bits) ===")
+    print(f"DIPs={attack.iterations} conflicts={stats['conflicts']} "
+          f"propagations={stats['propagations']} "
+          f"restarts={stats['restarts']}")
+    assert attack.success
+    assert verify_recovered_key(locked, attack.recovered_key)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Profile any flow / benchmark entry point under cProfile.
+
+This is the hotspot-hunting tool that found the SAT-core bottleneck
+behind ``test_fig1_classical_flow`` (clause propagation + lazy-heap
+decisions + per-fault re-encoding).  It runs a ``module:callable``
+target with ``src/`` and ``benchmarks/`` on ``sys.path`` and prints the
+top entries by cumulative and internal time, so the next hunt is one
+command instead of a throwaway script.
+
+Usage::
+
+    python scripts/profile_flow.py bench_fig1:run_classical
+    python scripts/profile_flow.py bench_sat:run_atpg_aes_sbox
+    python scripts/profile_flow.py repro.dft.atpg:run_atpg --limit 40
+    python scripts/profile_flow.py bench_fig1:run_classical -o fig1.pstats
+
+Targets taking no arguments are called directly; a saved ``.pstats``
+file can be explored later with ``pstats`` or snakeviz-alikes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import importlib
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def resolve_target(spec: str):
+    """Import ``module:callable`` and return the callable."""
+    if ":" not in spec:
+        raise SystemExit(
+            f"target {spec!r} must have the form module:callable "
+            f"(e.g. bench_fig1:run_classical)")
+    module_name, func_name = spec.split(":", 1)
+    module = importlib.import_module(module_name)
+    try:
+        func = getattr(module, func_name)
+    except AttributeError:
+        raise SystemExit(f"{module_name} has no attribute {func_name!r}")
+    if not callable(func):
+        raise SystemExit(f"{spec} is not callable")
+    return func
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("target",
+                        help="module:callable to profile "
+                             "(benchmarks/ and src/ are importable)")
+    parser.add_argument("--limit", type=int, default=25,
+                        help="rows per table (default: 25)")
+    parser.add_argument("--sort", choices=["cumulative", "tottime", "both"],
+                        default="both",
+                        help="which table(s) to print (default: both)")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="also dump raw stats to this .pstats file")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    func = resolve_target(args.target)
+
+    profiler = cProfile.Profile()
+    began = time.perf_counter()
+    profiler.enable()
+    func()
+    profiler.disable()
+    wall = time.perf_counter() - began
+    print(f"{args.target}: {wall:.3f}s wall (cProfile overhead included)\n")
+
+    stats = pstats.Stats(profiler)
+    sorts = (["cumulative", "tottime"] if args.sort == "both"
+             else [args.sort])
+    for sort in sorts:
+        print(f"--- top {args.limit} by {sort} ---")
+        stats.sort_stats(sort).print_stats(args.limit)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw stats written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from .scan import (
 from .faultsim import CoverageReport, grade_vectors
 from .atpg import (
     AtpgResult,
+    IncrementalAtpg,
     compact_vectors,
     generate_test_for_fault,
     run_atpg,
@@ -31,7 +32,8 @@ __all__ = [
     "SCAN_ENABLE", "SCAN_IN", "SCAN_OUT", "ScanDesign", "insert_scan",
     "scan_capture", "scan_load", "scan_unload",
     "CoverageReport", "grade_vectors",
-    "AtpgResult", "compact_vectors", "generate_test_for_fault", "run_atpg",
+    "AtpgResult", "IncrementalAtpg", "compact_vectors",
+    "generate_test_for_fault", "run_atpg",
     "BistResult", "Lfsr", "Misr", "bist_detects_fault", "run_bist",
     "ScanAttackResult", "ScanChipModel", "netlist_scan_attack",
     "scan_attack",

@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..fia import Fault, FaultKind, enumerate_faults, inject_fault
-from ..formal import CircuitEncoder
-from ..netlist import Netlist
+from ..formal import CircuitEncoder, lit, neg
+from ..netlist import GateType, Netlist
 from .faultsim import detected_by_vectors, grade_vectors
 
 
@@ -40,33 +40,105 @@ class AtpgResult:
         return len(self.detected) / testable if testable else 1.0
 
 
+class IncrementalAtpg:
+    """Assumption-based deterministic test generation over one solver.
+
+    The fault-free circuit is Tseitin-encoded exactly once; every
+    stuck-at query then encodes only the fault's *output cone* (a
+    faulty copy of the nets structurally downstream of the fault site,
+    reading all other values from the base encoding) and asks the
+    solver, under a single activation assumption, for an input on which
+    a cone output diverges.  Learned clauses accumulate across faults
+    in the shared database, so each successive query starts from
+    everything the solver already proved about the circuit — the
+    MiniSat-style incremental recipe, replacing the previous
+    two-full-copies re-encode per fault.
+
+    DFF outputs are treated as shared pseudo-primary inputs (the
+    full-scan view), so cones stop at state elements.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.encoder = CircuitEncoder()
+        self.good_vars = self.encoder.encode(netlist)
+        self._fanout = netlist.fanout_map()
+        self._output_set = set(netlist.outputs)
+
+    def _fault_cone(self, net: str) -> set:
+        """Transitive fanout of ``net``, stopping at DFF boundaries."""
+        gates = self.netlist.gates
+        cone = {net}
+        stack = [net]
+        fanout = self._fanout
+        while stack:
+            for consumer in fanout.get(stack.pop(), ()):
+                if consumer in cone:
+                    continue
+                if gates[consumer].gate_type is GateType.DFF:
+                    continue
+                cone.add(consumer)
+                stack.append(consumer)
+        return cone
+
+    def test_for_fault(self, fault: Fault,
+                       conflict_budget: Optional[int] = 50_000
+                       ) -> Tuple[Optional[Dict[str, int]], str]:
+        """SAT query for an input that exposes ``fault``.
+
+        Returns ``(test, "detected")``, ``(None, "untestable")`` when
+        the fault is provably redundant, or ``(None, "aborted")`` when
+        the conflict budget ran out.
+        """
+        cone = self._fault_cone(fault.net)
+        faulty = inject_fault(self.netlist, fault)
+        # Only nets the fault can reach are re-encoded; primary inputs
+        # and DFF outputs stay shared with the base circuit, and nets
+        # introduced by the injection itself (e.g. the stuck driver for
+        # an input fault) are encoded fresh.
+        good_vars = self.good_vars
+        within = set()
+        bind: Dict[str, int] = {}
+        for net, gate in faulty.gates.items():
+            if (net in cone or net not in good_vars) and \
+                    gate.gate_type not in (GateType.INPUT, GateType.DFF):
+                within.add(net)
+            else:
+                bind[net] = good_vars[net]
+        observed = [o for o in faulty.outputs if o in within]
+        if not observed:
+            return None, "untestable"
+        enc = self.encoder
+        bad_vars = enc.encode(faulty, bind=bind, within=within)
+        diffs = [enc.xor_of(good_vars[o], bad_vars[o]) for o in observed]
+        miter = diffs[0] if len(diffs) == 1 else enc.or_of(diffs)
+        result = enc.solver.solve(assumptions=[lit(miter)],
+                                  conflict_budget=conflict_budget)
+        if result is False:
+            # The cone miter is proven quiet; committing that as a unit
+            # clause lets later queries reuse the proof.
+            enc.solver.add_clause([neg(lit(miter))])
+            return None, "untestable"
+        if result is None:
+            return None, "aborted"
+        solver = enc.solver
+        test = {
+            name: solver.model_value(good_vars[name])
+            for name in self.netlist.inputs
+        }
+        return test, "detected"
+
+
 def generate_test_for_fault(netlist: Netlist, fault: Fault,
                             conflict_budget: Optional[int] = 50_000
                             ) -> Tuple[Optional[Dict[str, int]], str]:
-    """SAT query for an input that exposes ``fault``.
+    """One-shot SAT query for an input that exposes ``fault``.
 
-    Returns ``(test, "detected")``, ``(None, "untestable")`` when the
-    fault is provably redundant, or ``(None, "aborted")`` when the
-    conflict budget ran out.
+    Convenience wrapper over :class:`IncrementalAtpg`; batch callers
+    should hold on to one engine instead so the base encoding and
+    learned clauses are shared across faults.
     """
-    faulty = inject_fault(netlist, fault)
-    enc = CircuitEncoder()
-    good_vars = enc.encode(netlist)
-    shared = {name: good_vars[name] for name in netlist.inputs
-              if name in faulty.gates}
-    bad_vars = enc.encode(faulty, bind=shared)
-    diffs = [enc.xor_of(good_vars[o], bad_vars[o]) for o in netlist.outputs]
-    enc.assert_equal(enc.or_of(diffs), 1)
-    result = enc.solver.solve(conflict_budget=conflict_budget)
-    if result is False:
-        return None, "untestable"
-    if result is None:
-        return None, "aborted"
-    test = {
-        name: enc.solver.model_value(good_vars[name])
-        for name in netlist.inputs
-    }
-    return test, "detected"
+    return IncrementalAtpg(netlist).test_for_fault(fault, conflict_budget)
 
 
 def run_atpg(netlist: Netlist,
@@ -93,9 +165,10 @@ def run_atpg(netlist: Netlist,
     undetected_set = set(report.undetected)
     result.detected = [f for f in fault_list if f not in undetected_set]
     remaining = list(report.undetected)
+    engine = IncrementalAtpg(netlist) if remaining else None
     while remaining:
         fault = remaining.pop(0)
-        test, status = generate_test_for_fault(netlist, fault)
+        test, status = engine.test_for_fault(fault)
         if status == "untestable":
             result.untestable.append(fault)
         elif status == "aborted":
@@ -110,6 +183,12 @@ def run_atpg(netlist: Netlist,
                 result.detected.extend(dropped)
                 remaining = [f for f, hit in zip(remaining, flags)
                              if not hit]
+    if engine is not None:
+        # The whole point of the incremental port: one base encode per
+        # ATPG run, however many faults the SAT phase has to visit.
+        assert engine.encoder.encode_calls == 1, (
+            f"base circuit encoded {engine.encoder.encode_calls} times; "
+            f"incremental ATPG must encode it exactly once")
     return result
 
 

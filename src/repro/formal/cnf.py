@@ -7,7 +7,7 @@ bridge between the EDA substrate and the formal/attack engines.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import AbstractSet, Dict, Mapping, Optional, Sequence
 
 from ..netlist import GateType, Netlist
 from .sat import Solver, lit, neg
@@ -23,26 +23,63 @@ class CircuitEncoder:
 
     def __init__(self, solver: Optional[Solver] = None) -> None:
         self.solver = solver or Solver()
+        #: Full-netlist :meth:`encode` calls (``within=None``).  The
+        #: incremental clients assert on this: ATPG must encode its base
+        #: circuit exactly once per run, not once per fault.
+        self.encode_calls = 0
+        #: Partial (cone) :meth:`encode` calls (``within`` given).
+        self.cone_encodes = 0
+        self._const_cache: Dict[int, int] = {}
 
     def fresh_var(self) -> int:
         """A fresh solver variable (for binds and auxiliary logic)."""
         return self.solver.new_var()
 
+    def const_var(self, value: int) -> int:
+        """A variable pinned to ``value`` — cached, one per polarity.
+
+        Incremental clients (SAT attack DIP constraints, pinned frames)
+        bind nets to constants every iteration; sharing the two constant
+        variables keeps the clause database from accumulating one fresh
+        unit clause per bound bit.
+        """
+        cached = self._const_cache.get(value)
+        if cached is None:
+            cached = self.solver.new_var()
+            self.solver.add_clause([lit(cached, negative=(value == 0))])
+            self._const_cache[value] = cached
+        return cached
+
     def encode(self, netlist: Netlist, prefix: str = "",
-               bind: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+               bind: Optional[Mapping[str, int]] = None,
+               within: Optional[AbstractSet[str]] = None) -> Dict[str, int]:
         """Encode every net; returns map ``prefix+net -> variable``.
 
         ``bind`` pre-assigns variables to named nets (primary inputs or
         DFF outputs), enabling input sharing across copies.
+
+        ``within`` restricts clause emission to the named nets: nets
+        outside it are resolved through ``bind`` instead of being
+        re-encoded.  This is the incremental-ATPG workhorse — a faulty
+        copy only re-encodes the fault's output cone against the
+        already-encoded base circuit.
         """
         bind = bind or {}
         varmap: Dict[str, int] = {}
+        if within is None:
+            self.encode_calls += 1
+        else:
+            self.cone_encodes += 1
         add = self.solver.add_clause
         for net in netlist.topological_order():
             g = netlist.gates[net]
             if net in bind:
                 varmap[net] = bind[net]
                 continue
+            if within is not None and net not in within:
+                raise ValueError(
+                    f"net {net!r} outside the encoded cone has no bound "
+                    f"variable")
             v = self.solver.new_var()
             varmap[net] = v
             t = g.gate_type

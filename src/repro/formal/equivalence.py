@@ -10,10 +10,11 @@ sound; and the same miter construction, pointed at an unknown key,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from ..netlist import Netlist
 from .cnf import CircuitEncoder
+from .sat import lit, neg
 
 
 @dataclass
@@ -71,30 +72,26 @@ def check_equivalence(left: Netlist, right: Netlist,
     if unbound:
         raise ValueError(f"right-side inputs {unbound[:4]} are unconstrained")
 
-    diff_vars: List[int] = []
-    diff_outputs: List[str] = []
+    # One miter query per output, against the single shared encoding:
+    # each output's (in)equality is asked under an assumption, so the
+    # solver — and every clause it learns about the common fan-in logic
+    # — is reused across the whole output list instead of rebuilding
+    # one monolithic OR-of-differences formula.
+    solver = enc.solver
     for out in left.outputs:
         right_out = output_map.get(out, out)
-        diff_vars.append(enc.xor_of(left_vars[out], right_vars[right_out]))
-        diff_outputs.append(out)
-    any_diff = enc.or_of(diff_vars)
-    enc.assert_equal(any_diff, 1)
-
-    sat = enc.solver.solve()
-    if not sat:
-        return EquivalenceResult(True, solver_stats=enc.solver.stats())
-    cex = {
-        name: enc.solver.model_value(left_vars[name])
-        for name in shared_inputs
-    }
-    mismatched = None
-    for out, dv in zip(diff_outputs, diff_vars):
-        if enc.solver.model_value(dv):
-            mismatched = out
-            break
-    return EquivalenceResult(False, counterexample=cex,
-                             mismatched_output=mismatched,
-                             solver_stats=enc.solver.stats())
+        diff = enc.xor_of(left_vars[out], right_vars[right_out])
+        if solver.solve(assumptions=[lit(diff)]):
+            cex = {
+                name: solver.model_value(left_vars[name])
+                for name in shared_inputs
+            }
+            return EquivalenceResult(False, counterexample=cex,
+                                     mismatched_output=out,
+                                     solver_stats=solver.stats())
+        # Proven equal: commit the fact so later outputs build on it.
+        solver.add_clause([neg(lit(diff))])
+    return EquivalenceResult(True, solver_stats=solver.stats())
 
 
 def build_miter(left: Netlist, right: Netlist, name: str = "miter") -> Netlist:

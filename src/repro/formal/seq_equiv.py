@@ -3,9 +3,11 @@
 Completes the validation stage's toolbox: after DFT insertion (scan
 muxes), metering FSMs, or monitor retrofits, the *sequential* behaviour
 in mission mode must match the original design.  The check unrolls both
-machines over ``cycles`` time frames with shared free inputs (some
-pinned per frame, e.g. ``scan_en = 0``) and asks SAT for any frame
-where observable outputs diverge.
+machines frame by frame into one persistent incremental solver with
+shared free inputs (some pinned per frame, e.g. ``scan_en = 0``) and
+asks SAT, per frame, whether observable outputs diverge — stopping at
+the earliest divergence and reusing every earlier frame's encoding and
+proof for the deeper queries.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..netlist import Netlist
 from .cnf import CircuitEncoder
+from .sat import lit, neg
 
 
 @dataclass
@@ -23,7 +26,8 @@ class SequentialEquivalenceResult:
 
     equivalent: bool
     cycles_checked: int
-    witness: Optional[List[Dict[str, int]]] = None   # per-frame inputs
+    #: Per-frame inputs up to and including the mismatch frame.
+    witness: Optional[List[Dict[str, int]]] = None
     mismatch_frame: Optional[int] = None
 
 
@@ -70,17 +74,20 @@ def check_sequential_equivalence(
         raise ValueError("no common outputs to compare")
 
     enc = CircuitEncoder()
+    solver = enc.solver
     left_state: Dict[str, int] = {}
     right_state: Dict[str, int] = {}
     if initial_state_zero:
         for netlist, state in ((left, left_state), (right, right_state)):
             for ff in netlist.flops:
-                var = enc.fresh_var()
-                enc.assert_equal(var, 0)
-                state[ff] = var
+                state[ff] = enc.const_var(0)
     frame_inputs: List[Dict[str, int]] = []
-    diff_vars: List[int] = []
-    diff_frames: List[int] = []
+    # Incremental BMC: unroll one frame at a time into the persistent
+    # solver and ask, under an assumption, whether *this* frame's
+    # outputs can diverge.  An UNSAT answer is committed as a unit
+    # clause ("frames 0..k agree"), so each deeper query starts from
+    # the proof of all shallower ones — and a divergence is reported at
+    # the earliest reachable frame without ever encoding the rest.
     for frame in range(cycles):
         frame_shared = {name: enc.fresh_var() for name in shared_inputs}
         frame_free = {name: enc.fresh_var() for name in one_sided}
@@ -95,17 +102,26 @@ def check_sequential_equivalence(
             if name in right.gates:
                 bind_right[name] = var
         for name, value in pinned.items():
-            var = enc.fresh_var()
-            enc.assert_equal(var, value)
+            var = enc.const_var(value)
             if name in left.gates:
                 bind_left[name] = var
             if name in right.gates:
                 bind_right[name] = var
         left_vars = enc.encode(left, bind=bind_left)
         right_vars = enc.encode(right, bind=bind_right)
-        for out in outputs:
-            diff_vars.append(enc.xor_of(left_vars[out], right_vars[out]))
-            diff_frames.append(frame)
+        diff_vars = [enc.xor_of(left_vars[out], right_vars[out])
+                     for out in outputs]
+        frame_diff = (diff_vars[0] if len(diff_vars) == 1
+                      else enc.or_of(diff_vars))
+        if solver.solve(assumptions=[lit(frame_diff)]):
+            witness = [
+                {name: solver.model_value(var)
+                 for name, var in inputs.items()}
+                for inputs in frame_inputs
+            ]
+            return SequentialEquivalenceResult(False, frame + 1, witness,
+                                               frame)
+        solver.add_clause([neg(lit(frame_diff))])
         left_state = {
             ff: left_vars[left.gates[ff].fanins[0]] for ff in left.flops
         }
@@ -113,16 +129,4 @@ def check_sequential_equivalence(
             ff: right_vars[right.gates[ff].fanins[0]]
             for ff in right.flops
         }
-    any_diff = enc.or_of(diff_vars)
-    enc.assert_equal(any_diff, 1)
-    if not enc.solver.solve():
-        return SequentialEquivalenceResult(True, cycles)
-    witness = [
-        {name: enc.solver.model_value(var)
-         for name, var in frame.items()}
-        for frame in frame_inputs
-    ]
-    mismatch = next(
-        (diff_frames[i] for i, dv in enumerate(diff_vars)
-         if enc.solver.model_value(dv)), None)
-    return SequentialEquivalenceResult(False, cycles, witness, mismatch)
+    return SequentialEquivalenceResult(True, cycles)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
-from ..formal import CircuitEncoder
+from ..formal import CircuitEncoder, lit
 from ..netlist import Netlist, output_values
 from .locking import LockedCircuit, apply_key
 
@@ -53,6 +53,7 @@ def sat_attack(locked_netlist: Netlist,
     """
     data_inputs = [i for i in locked_netlist.inputs if i not in key_inputs]
     enc = CircuitEncoder()
+    solver = enc.solver
     # Shared data-input variables.
     shared = {name: enc.fresh_var() for name in data_inputs}
     k1 = {name: enc.fresh_var() for name in key_inputs}
@@ -60,56 +61,48 @@ def sat_attack(locked_netlist: Netlist,
     vars1 = enc.encode(locked_netlist, bind={**shared, **k1})
     vars2 = enc.encode(locked_netlist, bind={**shared, **k2})
     diffs = [enc.xor_of(vars1[o], vars2[o]) for o in locked_netlist.outputs]
-    enc.assert_equal(enc.or_of(diffs), 1)
+    # The output-miter constraint rides on an assumption instead of a
+    # unit clause: the DIP loop asks "do the keys still disagree
+    # somewhere?" under it, and the final key extraction drops it and
+    # reuses the very same solver (and everything it learned) instead of
+    # re-encoding all accumulated DIP constraints from scratch.
+    miter = lit(enc.or_of(diffs))
 
     dips: List[Dict[str, int]] = []
-    responses: List[Mapping[str, int]] = []
     for iteration in range(max_iterations):
-        sat = enc.solver.solve()
+        sat = solver.solve(assumptions=[miter])
         if sat is False:
             break
         if sat is None:
             return SatAttackResult(None, iteration, dips,
-                                   enc.solver.stats(), gave_up=True)
-        dip = {name: enc.solver.model_value(var)
+                                   solver.stats(), gave_up=True)
+        dip = {name: solver.model_value(var)
                for name, var in shared.items()}
         dips.append(dip)
         response = oracle(dip)
-        responses.append(response)
         # Constrain both key copies to agree with the oracle on the DIP.
+        # These clauses are permanent — the persistent clause database
+        # *is* the accumulated constraint set, one copy per key.
+        bind_const = {name: enc.const_var(value)
+                      for name, value in dip.items()}
         for key_vars in (k1, k2):
-            bind = {name: _const_var(enc, value)
-                    for name, value in dip.items()}
-            bind.update(key_vars)
-            check_vars = enc.encode(locked_netlist, bind=bind)
+            check_vars = enc.encode(locked_netlist,
+                                    bind={**bind_const, **key_vars})
             for out, value in response.items():
                 enc.assert_equal(check_vars[out], value)
     else:
         return SatAttackResult(None, max_iterations, dips,
-                               enc.solver.stats(), gave_up=True)
+                               solver.stats(), gave_up=True)
 
-    # UNSAT: extract any key consistent with all recorded constraints.
-    key_solver = CircuitEncoder()
-    kvars = {name: key_solver.fresh_var() for name in key_inputs}
-    for dip, response in zip(dips, responses):
-        bind = {name: _const_var(key_solver, value)
-                for name, value in dip.items()}
-        bind.update(kvars)
-        circuit_vars = key_solver.encode(locked_netlist, bind=bind)
-        for out, value in response.items():
-            key_solver.assert_equal(circuit_vars[out], value)
-    if key_solver.solver.solve() is not True:
-        return SatAttackResult(None, len(dips), dips, enc.solver.stats(),
+    # UNSAT under the miter assumption: no distinguishing input is left,
+    # so any key satisfying the recorded DIP constraints is functionally
+    # correct.  Solving without the assumption yields one — from the
+    # same incremental solver.
+    if solver.solve() is not True:
+        return SatAttackResult(None, len(dips), dips, solver.stats(),
                                gave_up=True)
-    key = {name: key_solver.solver.model_value(var)
-           for name, var in kvars.items()}
-    return SatAttackResult(key, len(dips), dips, enc.solver.stats())
-
-
-def _const_var(enc: CircuitEncoder, value: int) -> int:
-    var = enc.fresh_var()
-    enc.assert_equal(var, value)
-    return var
+    key = {name: solver.model_value(var) for name, var in k1.items()}
+    return SatAttackResult(key, len(dips), dips, solver.stats())
 
 
 def attack_locked_circuit(locked: LockedCircuit,

@@ -50,21 +50,40 @@ def _placeable_cells(netlist: Netlist) -> List[str]:
     ]
 
 
-def random_placement(netlist: Netlist, width: Optional[int] = None,
-                     height: Optional[int] = None,
-                     seed: int = 0) -> Placement:
-    """Uniform random legal placement (one cell per site)."""
-    cells = _placeable_cells(netlist)
+def _site_list(width: int, height: int) -> List[Point]:
+    """All legal sites of a ``width`` x ``height`` die, row-major."""
+    return [(x, y) for x in range(width) for y in range(height)]
+
+
+def _die_dimensions(cell_count: int, width: Optional[int],
+                    height: Optional[int]) -> Tuple[int, int]:
+    """Resolve die dimensions, defaulting to ~1.5x cell area, square."""
     if width is None or height is None:
-        side = max(2, math.ceil(math.sqrt(len(cells) * 1.5)))
+        side = max(2, math.ceil(math.sqrt(cell_count * 1.5)))
         width = width or side
         height = height or side
-    if width * height < len(cells):
+    if width * height < cell_count:
         raise ValueError("die too small for the cell count")
+    return width, height
+
+
+def random_placement(netlist: Netlist, width: Optional[int] = None,
+                     height: Optional[int] = None,
+                     seed: int = 0,
+                     sites: Optional[List[Point]] = None) -> Placement:
+    """Uniform random legal placement (one cell per site).
+
+    ``sites`` lets a caller that already enumerated the die (e.g. the
+    annealer) pass the list in instead of rebuilding it; it is not
+    mutated.
+    """
+    cells = _placeable_cells(netlist)
+    width, height = _die_dimensions(len(cells), width, height)
     rng = random.Random(seed)
-    sites = [(x, y) for x in range(width) for y in range(height)]
-    rng.shuffle(sites)
-    return Placement(dict(zip(cells, sites)), width, height)
+    shuffled = list(sites) if sites is not None else _site_list(width,
+                                                                height)
+    rng.shuffle(shuffled)
+    return Placement(dict(zip(cells, shuffled)), width, height)
 
 
 def nets_for_wirelength(netlist: Netlist) -> List[List[str]]:
@@ -122,7 +141,13 @@ def annealing_placement(netlist: Netlist,
     this fast enough for a few thousand cells.
     """
     rng = random.Random(seed)
-    placement = random_placement(netlist, width, height, seed)
+    # One site enumeration serves both the initial placement and the
+    # annealer's move generation.
+    width, height = _die_dimensions(len(_placeable_cells(netlist)),
+                                    width, height)
+    all_sites = _site_list(width, height)
+    placement = random_placement(netlist, width, height, seed,
+                                 sites=all_sites)
     nets = nets_for_wirelength(netlist)
     cells = list(placement.positions)
     positions = placement.positions
@@ -147,8 +172,6 @@ def annealing_placement(netlist: Netlist,
     # recomputing the affected bounding boxes twice per move.
     net_costs = [one_net_cost(i) for i in range(len(nets))]
     occupied: Dict[Point, str] = {p: c for c, p in positions.items()}
-    all_sites = [(x, y) for x in range(placement.width)
-                 for y in range(placement.height)]
     initial = sum(net_costs)
     temperature = initial_temperature
     cooling = 0.995 ** (20000 / max(1, iterations))
@@ -156,6 +179,10 @@ def annealing_placement(netlist: Netlist,
     for _ in range(iterations):
         cell = rng.choice(cells)
         target = rng.choice(all_sites)
+        if target == positions[cell]:
+            # No-op move: nothing to evaluate, just keep cooling.
+            temperature *= cooling
+            continue
         other = occupied.get(target)
         if other is None:
             affected = nets_of[cell]

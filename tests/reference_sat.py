@@ -1,0 +1,397 @@
+"""Frozen reference CDCL solver for differential testing.
+
+This is the pre-rewrite solver (lazy-deletion activity heap, geometric
+restarts, no phase saving or clause-database reduction), kept verbatim
+as an independent oracle: ``test_sat_differential`` pits the production
+solver in :mod:`repro.formal.sat` against it (and against brute force
+on small instances) on randomly generated CNF formulas.  Do not "fix"
+or optimise this file — its value is that it shares no code with the
+solver under test.
+
+Literal encoding: variable ``v`` (0-based) appears as literal ``2*v``
+(positive) or ``2*v + 1`` (negated).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+UNASSIGNED = -1
+
+
+def lit(var: int, negative: bool = False) -> int:
+    """Build a literal from a 0-based variable index."""
+    return 2 * var + (1 if negative else 0)
+
+
+def neg(literal: int) -> int:
+    """The complement literal."""
+    return literal ^ 1
+
+
+def var_of(literal: int) -> int:
+    """The 0-based variable index of a literal."""
+    return literal >> 1
+
+
+class Solver:
+    """CDCL SAT solver with incremental assumption support.
+
+    Clauses may be added between :meth:`solve` calls, enabling the
+    oracle-guided loops (SAT attack, CEGAR-style flows) to reuse learned
+    state across iterations.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.watches: List[List[int]] = []   # literal -> clause indices
+        self.assign: List[int] = []          # var -> 0/1/UNASSIGNED
+        self.level: List[int] = []           # var -> decision level
+        self.reason: List[int] = []          # var -> clause idx or -1
+        self.trail: List[int] = []           # assigned literals, in order
+        self.trail_lim: List[int] = []       # trail length per decision
+        self.activity: List[float] = []
+        self._heap: List[Tuple[float, int]] = []
+        self._seen: List[bool] = []          # scratch for _analyze
+        self._qhead = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.propagations = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self._ok = True
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its 0-based index."""
+        v = self.num_vars
+        self.num_vars += 1
+        self.assign.append(UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(-1)
+        self.activity.append(0.0)
+        self._seen.append(False)
+        self.watches.append([])
+        self.watches.append([])
+        heapq.heappush(self._heap, (0.0, v))
+        return v
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause at decision level 0.
+
+        Returns False if the formula became trivially unsatisfiable.
+        Must not be called in the middle of :meth:`solve`.
+        """
+        if self.trail_lim:
+            self._backtrack(0)
+        # Single pass: dedup, tautology check, and level-0 filtering
+        # (drop false literals, skip satisfied clauses).  This runs for
+        # every encoded gate, so the literal value test is inlined.
+        assign = self.assign
+        num_vars = self.num_vars
+        seen = set()
+        reduced: List[int] = []
+        for l in literals:
+            if l in seen:
+                continue
+            if l ^ 1 in seen:
+                return True  # tautology
+            if (l >> 1) >= num_vars:
+                raise ValueError(f"literal {l} references unknown variable")
+            seen.add(l)
+            value = assign[l >> 1]
+            if value == UNASSIGNED:
+                reduced.append(l)
+            elif value ^ (l & 1) == 1:
+                return True
+        if not reduced:
+            self._ok = False
+            return False
+        if len(reduced) == 1:
+            self._enqueue(reduced[0], -1)
+            if self._propagate() != -1:
+                self._ok = False
+                return False
+            return True
+        idx = len(self.clauses)
+        self.clauses.append(reduced)
+        self.watches[neg(reduced[0])].append(idx)
+        self.watches[neg(reduced[1])].append(idx)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+
+    def _value_of(self, literal: int) -> int:
+        value = self.assign[var_of(literal)]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        return value ^ (literal & 1)
+
+    def _enqueue(self, literal: int, reason_idx: int) -> None:
+        v = var_of(literal)
+        self.assign[v] = 1 - (literal & 1)
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason_idx
+        self.trail.append(literal)
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause index or -1.
+
+        This is the solver's hot loop (millions of iterations per SAT
+        attack), so attribute lookups are hoisted into locals, the
+        decision level is computed once (it cannot change while
+        propagating), and ``_value_of``/``_enqueue`` are inlined.  With
+        ``UNASSIGNED == -1``, ``assign[v] ^ (lit & 1)`` is negative for
+        unassigned variables, so the ``== 1`` / ``== 0`` tests need no
+        explicit unassigned branch.
+        """
+        trail = self.trail
+        watches = self.watches
+        clauses = self.clauses
+        assign = self.assign
+        level = self.level
+        reason = self.reason
+        lvl = len(self.trail_lim)
+        qhead = self._qhead
+        processed = 0
+        while qhead < len(trail):
+            literal = trail[qhead]
+            qhead += 1
+            processed += 1
+            false_lit = literal ^ 1
+            watch_list = watches[literal]
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                clause = clauses[ci]
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                fv = assign[first >> 1] ^ (first & 1)
+                if fv == 1:
+                    i += 1
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    ck = clause[k]
+                    if assign[ck >> 1] ^ (ck & 1) != 0:
+                        clause[1] = ck
+                        clause[k] = false_lit
+                        watches[ck ^ 1].append(ci)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if fv == 0:
+                    self._qhead = len(trail)
+                    self.propagations += processed
+                    return ci
+                v = first >> 1
+                assign[v] = (first & 1) ^ 1
+                level[v] = lvl
+                reason[v] = ci
+                trail.append(first)
+                i += 1
+        self._qhead = qhead
+        self.propagations += processed
+        return -1
+
+    def _backtrack(self, target_level: int) -> None:
+        trail_lim = self.trail_lim
+        if len(trail_lim) <= target_level:
+            self._qhead = min(self._qhead, len(self.trail))
+            return
+        # Unwind the trail in one slice instead of popping per literal.
+        trail = self.trail
+        assign = self.assign
+        activity = self.activity
+        heap = self._heap
+        push = heapq.heappush
+        limit = trail_lim[target_level]
+        del trail_lim[target_level:]
+        for literal in trail[limit:]:
+            v = literal >> 1
+            assign[v] = UNASSIGNED
+            push(heap, (-activity[v], v))
+        del trail[limit:]
+        self._qhead = min(self._qhead, limit)
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for u in range(self.num_vars):
+                self.activity[u] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self.activity[v], v))
+
+    def _decide_var(self) -> int:
+        """Unassigned variable of highest activity (lazy-deletion heap).
+
+        Every activity change pushes a fresh heap entry, so stale
+        entries (recorded activity below the current one) can be
+        discarded safely — a fresher entry for that variable exists.
+        """
+        while self._heap:
+            act, v = heapq.heappop(self._heap)
+            if self.assign[v] != UNASSIGNED:
+                continue
+            if -act < self.activity[v] - 1e-12:
+                continue
+            return v
+        for v in range(self.num_vars):  # safety net
+            if self.assign[v] == UNASSIGNED:
+                return v
+        return -1
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict_idx: int) -> Tuple[List[int], int]:
+        """First-UIP resolution; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]
+        # Reusable scratch: at exit, the only True flags left belong to
+        # the learned clause's lower-level literals (current-level flags
+        # are cleared as they are resolved), so those are reset below.
+        seen = self._seen
+        counter = 0
+        p = -1  # resolved literal (-1 = conflict clause itself)
+        index = len(self.trail)
+        clause = self.clauses[conflict_idx]
+        current_level = len(self.trail_lim)
+        while True:
+            for l in clause:
+                if p != -1 and l == p:
+                    continue
+                v = var_of(l)
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self.level[v] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(l)
+            while True:
+                index -= 1
+                p = self.trail[index]
+                if seen[var_of(p)]:
+                    break
+            v = var_of(p)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = neg(p)
+                break
+            clause = self.clauses[self.reason[v]]
+        for l in learned[1:]:
+            seen[l >> 1] = False
+        if len(learned) == 1:
+            return learned, 0
+        back_level = max(self.level[var_of(l)] for l in learned[1:])
+        for k in range(1, len(learned)):
+            if self.level[var_of(learned[k])] == back_level:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back_level
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_budget: Optional[int] = None) -> Optional[bool]:
+        """Solve under assumptions.
+
+        Returns True (SAT), False (UNSAT), or None when
+        ``conflict_budget`` conflicts were exhausted.  After SAT, read
+        the model via :meth:`model_value`.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() != -1:
+            self._ok = False
+            return False
+        budget = conflict_budget
+        restart_interval = 100
+        conflicts_since_restart = 0
+        while True:
+            confl = self._propagate()
+            if confl != -1:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if len(self.trail_lim) == 0:
+                    self._ok = False
+                    return False
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        self._backtrack(0)
+                        return None
+                learned, back_level = self._analyze(confl)
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    value = self._value_of(learned[0])
+                    if value == 0:
+                        self._ok = False
+                        return False
+                    if value == UNASSIGNED:
+                        self._enqueue(learned[0], -1)
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches[neg(learned[0])].append(idx)
+                    self.watches[neg(learned[1])].append(idx)
+                    self._enqueue(learned[0], idx)
+                self.var_inc /= self.var_decay
+                if conflicts_since_restart >= restart_interval:
+                    conflicts_since_restart = 0
+                    restart_interval = int(restart_interval * 1.5)
+                    self._backtrack(0)
+                continue
+            # Place any pending assumption as the next decision.
+            pending = None
+            for a in assumptions:
+                value = self._value_of(a)
+                if value == 0:
+                    # Forced false by formula + earlier assumptions.
+                    self._backtrack(0)
+                    return False
+                if value == UNASSIGNED:
+                    pending = a
+                    break
+            if pending is not None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(pending, -1)
+                continue
+            v = self._decide_var()
+            if v == -1:
+                return True
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            # Phase heuristic: try False first (good for miter circuits).
+            self._enqueue(lit(v, negative=True), -1)
+
+    def model_value(self, variable: int) -> int:
+        """Value of a variable in the satisfying assignment (after SAT)."""
+        return 1 if self.assign[variable] == 1 else 0
+
+    def stats(self) -> Dict[str, int]:
+        """Search statistics (vars, clauses, conflicts, ...)."""
+        return {
+            "vars": self.num_vars,
+            "clauses": len(self.clauses),
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+        }
