@@ -44,9 +44,15 @@ from .composition import (
     EvaluationSnapshot,
 )
 from .designs import (
+    COUNTERMEASURE_FACTORIES,
+    DESIGN_FACTORIES,
+    build_design,
+    build_stack,
     duplication_countermeasure,
     masked_and_design,
     parity_countermeasure,
+    register_countermeasure,
+    register_design,
     timing_reassociation_step,
     wddl_countermeasure,
 )
@@ -63,6 +69,7 @@ from .dse import (
     LockingSweepPoint,
     dominates,
     locking_candidates,
+    measure_locking_point,
     pareto_front,
     sweep_locking,
 )
@@ -103,12 +110,16 @@ __all__ = [
     "sat_attack_resistance_steps",
     "CompositionEngine", "CompositionReport", "Countermeasure",
     "CrossEffect", "Design", "EvaluationSnapshot",
+    "COUNTERMEASURE_FACTORIES", "DESIGN_FACTORIES",
+    "build_design", "build_stack",
     "duplication_countermeasure", "masked_and_design",
-    "parity_countermeasure", "timing_reassociation_step",
+    "parity_countermeasure", "register_countermeasure",
+    "register_design", "timing_reassociation_step",
     "wddl_countermeasure",
     "CheckResult", "SecureFlow", "SecureFlowResult", "SecurityRequirement",
     "no_leaky_net_requirement", "tvla_requirement",
     "Candidate", "LockingSweepPoint", "dominates", "locking_candidates",
+    "measure_locking_point",
     "pareto_front", "sweep_locking",
     "CellResult", "all_demos", "render_table", "run_all", "run_cell",
     "CompilationReport", "DetectionConstraint", "LeakageConstraint",

@@ -247,6 +247,53 @@ class CompositionEngine:
             snapshot = new_snapshot
         return current, report
 
+    def compose_named(self, design_name: str,
+                      stack_names: Sequence[str]
+                      ) -> Tuple[Design, CompositionReport]:
+        """Compose a *named* design with a *named* countermeasure stack.
+
+        The declarative twin of :meth:`compose`: both the design and
+        the stack are referenced by registry name
+        (:data:`~repro.core.designs.DESIGN_FACTORIES` /
+        :data:`~repro.core.designs.COUNTERMEASURE_FACTORIES`), so the
+        whole invocation is a picklable, hashable spec — this is the
+        entry point the :mod:`repro.service` ``composition-stack`` job
+        calls inside worker processes.
+        """
+        from .designs import build_design, build_stack
+
+        return self.compose(build_design(design_name),
+                            build_stack(stack_names))
+
+    def evaluate_stack_row(self, design_name: str,
+                           stack_names: Sequence[str]) -> Dict[str, object]:
+        """One JSON-able row of a cross-effect matrix.
+
+        Captures the baseline and final snapshots plus the harmful
+        cross-effect flags — the exact shape the composition benchmarks
+        tabulate, now computable anywhere a (design name, stack names)
+        pair can be shipped.
+        """
+        _, report = self.compose_named(design_name, stack_names)
+        baseline = report.steps[0][1]
+        final = report.steps[-1][1]
+        return {
+            "design": design_name,
+            "stack": list(stack_names),
+            "baseline": baseline.as_dict(),
+            "final": final.as_dict(),
+            "area_factor": (final.area / baseline.area
+                            if baseline.area else float("inf")),
+            "flagged": bool(report.harmful_effects),
+            "notes": [e.note for e in report.harmful_effects],
+            "cross_effects": [
+                {"countermeasure": e.countermeasure, "metric": e.metric,
+                 "before": e.before, "after": e.after,
+                 "harmful": e.harmful, "note": e.note}
+                for e in report.cross_effects
+            ],
+        }
+
     def _diff(self, report: CompositionReport, cm: Countermeasure,
               before: EvaluationSnapshot,
               after: EvaluationSnapshot) -> None:

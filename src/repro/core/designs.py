@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import Dict
+from typing import Callable, Dict, List, Sequence
 
 from ..fia import duplicate_and_compare, parity_protect
 from ..sca import (
@@ -32,6 +32,53 @@ from .composition import Countermeasure, Design
 from .threats import ThreatVector
 
 
+#: Named design factories: ``Design`` objects hold closures (stimulus
+#: generators, adapters) and cannot travel across process boundaries,
+#: so distributed composition jobs (:mod:`repro.service`) address them
+#: by factory *name* and rebuild the design inside the worker.
+DESIGN_FACTORIES: Dict[str, "Callable[[], Design]"] = {}
+
+#: Named countermeasure factories, for the same reason.
+COUNTERMEASURE_FACTORIES: Dict[str, "Callable[[], Countermeasure]"] = {}
+
+
+def register_design(name: str):
+    """Register a zero-argument design factory under ``name``."""
+    def wrap(factory):
+        DESIGN_FACTORIES[name] = factory
+        return factory
+    return wrap
+
+
+def register_countermeasure(name: str):
+    """Register a zero-argument countermeasure factory under ``name``."""
+    def wrap(factory):
+        COUNTERMEASURE_FACTORIES[name] = factory
+        return factory
+    return wrap
+
+
+def build_design(name: str) -> Design:
+    """Instantiate a registered design factory by name."""
+    try:
+        return DESIGN_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; registered: "
+            f"{sorted(DESIGN_FACTORIES)}") from None
+
+
+def build_stack(names: "Sequence[str]") -> "List[Countermeasure]":
+    """Instantiate a countermeasure stack from registered names."""
+    missing = [n for n in names if n not in COUNTERMEASURE_FACTORIES]
+    if missing:
+        raise KeyError(
+            f"unknown countermeasures {missing}; registered: "
+            f"{sorted(COUNTERMEASURE_FACTORIES)}")
+    return [COUNTERMEASURE_FACTORIES[n]() for n in names]
+
+
+@register_design("masked-and")
 def masked_and_design(n_shares: int = 3) -> Design:
     """First-order masked AND gadget as a composition-study baseline.
 
@@ -56,6 +103,7 @@ def masked_and_design(n_shares: int = 3) -> Design:
     )
 
 
+@register_countermeasure("duplication")
 def duplication_countermeasure() -> Countermeasure:
     """Duplicate-and-compare fault detection (composes safely)."""
 
@@ -80,6 +128,7 @@ def duplication_countermeasure() -> Countermeasure:
     )
 
 
+@register_countermeasure("parity")
 def parity_countermeasure() -> Countermeasure:
     """Parity-prediction fault detection (breaks masking — ref [61])."""
 
@@ -104,6 +153,7 @@ def parity_countermeasure() -> Countermeasure:
     )
 
 
+@register_countermeasure("timing-reassociation")
 def timing_reassociation_step(rng_arrival: float = 1e5) -> Countermeasure:
     """The Fig. 2 optimizer audited as if it were a countermeasure.
 
@@ -134,6 +184,7 @@ def timing_reassociation_step(rng_arrival: float = 1e5) -> Countermeasure:
     )
 
 
+@register_countermeasure("wddl")
 def wddl_countermeasure() -> Countermeasure:
     """WDDL dual-rail hiding as a composable SCA countermeasure."""
 

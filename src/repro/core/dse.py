@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..netlist import Netlist, ppa_report
 
@@ -68,6 +68,40 @@ class LockingSweepPoint:
     attack_gave_up: bool
 
 
+def measure_locking_point(netlist: Netlist, key_bits: int, seed: int = 0,
+                          max_iterations: int = 400,
+                          baseline_area: Optional[float] = None
+                          ) -> LockingSweepPoint:
+    """Measure one point of the locking trade-off curve.
+
+    This is the per-point kernel shared by the serial sweep below and
+    the :mod:`repro.service` ``locking-point`` job, so a distributed
+    sweep is the same computation as the serial one, point for point.
+    ``seed`` is threaded uniformly — the ``key_bits == 0`` baseline
+    accepts (and ignores) it, so every point of a sweep is addressed by
+    the same ``(netlist, bits, seed)`` triple.  ``baseline_area``
+    short-circuits the unlocked PPA measurement when the caller has
+    already computed it.
+    """
+    from ..ip import attack_locked_circuit, lock_xor
+
+    if key_bits == 0:
+        area = (baseline_area if baseline_area is not None
+                else ppa_report(netlist).area)
+        return LockingSweepPoint(0, area, 0, 0.0, False)
+    locked = lock_xor(netlist, key_bits, seed=seed)
+    began = time.perf_counter()
+    result = attack_locked_circuit(locked, max_iterations=max_iterations)
+    elapsed = time.perf_counter() - began
+    return LockingSweepPoint(
+        key_bits=key_bits,
+        area=ppa_report(locked.netlist).area,
+        sat_attack_iterations=result.iterations,
+        attack_seconds=elapsed,
+        attack_gave_up=result.gave_up,
+    )
+
+
 def sweep_locking(netlist: Netlist, key_widths: Sequence[int],
                   seed: int = 0,
                   max_iterations: int = 400) -> List[LockingSweepPoint]:
@@ -77,28 +111,17 @@ def sweep_locking(netlist: Netlist, key_widths: Sequence[int],
     (DIP count) grows with key bits, but the *security level* — which
     attacker classes are excluded — only changes at thresholds, while
     area cost climbs smoothly the whole way.
-    """
-    from ..ip import attack_locked_circuit, lock_xor
 
-    points: List[LockingSweepPoint] = []
-    for bits in key_widths:
-        if bits == 0:
-            points.append(LockingSweepPoint(
-                0, ppa_report(netlist).area, 0, 0.0, False))
-            continue
-        locked = lock_xor(netlist, bits, seed=seed)
-        began = time.perf_counter()
-        result = attack_locked_circuit(locked,
-                                       max_iterations=max_iterations)
-        elapsed = time.perf_counter() - began
-        points.append(LockingSweepPoint(
-            key_bits=bits,
-            area=ppa_report(locked.netlist).area,
-            sat_attack_iterations=result.iterations,
-            attack_seconds=elapsed,
-            attack_gave_up=result.gave_up,
-        ))
-    return points
+    The unlocked baseline area is measured once and reused for every
+    ``bits == 0`` point.
+    """
+    baseline_area = ppa_report(netlist).area
+    return [
+        measure_locking_point(netlist, bits, seed=seed,
+                              max_iterations=max_iterations,
+                              baseline_area=baseline_area)
+        for bits in key_widths
+    ]
 
 
 def locking_candidates(points: Sequence[LockingSweepPoint],

@@ -88,6 +88,15 @@ class PropertyRecheck:
                 "reason": self.reason, "status": self.status,
                 "value": self.value, "message": self.message}
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PropertyRecheck":
+        """Inverse of :meth:`as_dict` (``status`` back to ``passed``)."""
+        return cls(key=str(data["property"]), when=str(data["when"]),
+                   reason=str(data["reason"]),
+                   passed=data["status"] == "PASS",
+                   value=float(data["value"]),
+                   message=str(data["message"]))
+
 
 @dataclass
 class PassProvenance:
@@ -125,6 +134,34 @@ class PassProvenance:
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PassProvenance":
+        """Inverse of :meth:`as_dict`.
+
+        ``wall_ms`` comes back at the serialized (millisecond-rounded)
+        precision; re-serializing yields the identical dict, which is
+        the round-trip contract the run database relies on.
+        """
+        cache = data.get("cache", {})
+        epoch = data.get("epoch", [0, 0])
+        return cls(
+            pass_name=str(data["pass"]),
+            stage=(DesignStage(data["stage"]) if data.get("stage")
+                   else None),
+            effects={k: list(v) for k, v in data["effects"].items()},
+            wall_ms=float(data["wall_ms"]),
+            cells_before=int(data["cells_before"]),
+            cells_after=int(data["cells_after"]),
+            rewrites=int(data["rewrites"]),
+            summary=str(data["summary"]),
+            details=dict(data.get("details", {})),
+            rechecks=[PropertyRecheck.from_dict(r)
+                      for r in data.get("rechecks", [])],
+            epoch_before=int(epoch[0]), epoch_after=int(epoch[1]),
+            cache_hits=int(cache.get("hits", 0)),
+            cache_misses=int(cache.get("misses", 0)),
+        )
+
 
 @dataclass
 class FlowTrace:
@@ -158,14 +195,38 @@ class FlowTrace:
         raise KeyError(f"no pass {pass_name!r} in trace")
 
     def to_dict(self) -> Dict[str, object]:
+        # The serialized total is derived from the *serialized* (ms-
+        # rounded) per-pass times, so dict -> from_dict -> to_dict is a
+        # fixed point even though in-memory wall_ms keeps full
+        # precision.
         return {
             "design": self.design_name,
             "baseline": [r.as_dict() for r in self.baseline],
             "passes": [p.as_dict() for p in self.passes],
             "final": [r.as_dict() for r in self.final],
             "failures": self.failures,
-            "total_wall_ms": round(self.total_wall_ms, 3),
+            "total_wall_ms": round(
+                sum(round(p.wall_ms, 3) for p in self.passes), 3),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FlowTrace":
+        """Rebuild a trace from :meth:`to_dict` output.
+
+        Derived fields (``failures``, ``total_wall_ms``) are ignored on
+        input and recomputed; everything else round-trips losslessly,
+        so traces pulled back out of the run database are full
+        :class:`FlowTrace` objects, not dict blobs.
+        """
+        return cls(
+            design_name=str(data["design"]),
+            baseline=[PropertyRecheck.from_dict(r)
+                      for r in data.get("baseline", [])],
+            passes=[PassProvenance.from_dict(p)
+                    for p in data.get("passes", [])],
+            final=[PropertyRecheck.from_dict(r)
+                   for r in data.get("final", [])],
+        )
 
     def render(self) -> str:
         """Human-readable provenance trace."""

@@ -18,6 +18,16 @@ from .simulate import (
     exhaustive_truth_table,
 )
 from .bench import load, loads, dump, dumps
+from .serialize import (
+    canonical_form,
+    canonical_json,
+    dumps_netlist,
+    loads_netlist,
+    netlist_from_dict,
+    netlist_hash,
+    netlist_to_dict,
+    stable_hash,
+)
 from .generators import (
     c17,
     full_adder,
@@ -56,6 +66,8 @@ __all__ = [
     "pack_patterns", "unpack_word", "random_stimulus",
     "encode_int", "decode_int", "toggle_counts", "exhaustive_truth_table",
     "load", "loads", "dump", "dumps",
+    "canonical_form", "canonical_json", "dumps_netlist", "loads_netlist",
+    "netlist_from_dict", "netlist_hash", "netlist_to_dict", "stable_hash",
     "dump_verilog", "dumps_verilog", "load_verilog", "loads_verilog",
     "c17", "full_adder", "ripple_carry_adder", "array_multiplier",
     "equality_comparator", "parity_tree", "random_circuit",

@@ -1,0 +1,64 @@
+"""Flow execution service: artifact store, scheduler, run database.
+
+The paper's Sec. IV agenda — security evaluation at every stage, with
+cross-effect composition studies — means running *many* flow variants
+over *many* designs.  This package turns the repository's flow engine
+into a job-serving layer:
+
+* :mod:`~repro.service.store` — content-addressed on-disk artifact
+  store; identical flows are cache hits across processes and
+  invocations;
+* :mod:`~repro.service.jobs` — declarative, picklable job specs
+  resolved through a registry, hash-stable for cache addressing;
+* :mod:`~repro.service.scheduler` — multiprocess DAG execution with
+  per-job timeouts, bounded retry-with-backoff, crash isolation,
+  cancellation, and in-process degradation at ``workers=0``;
+* :mod:`~repro.service.rundb` — append-only JSONL log of every job
+  outcome with a query API;
+* :mod:`~repro.service.campaigns` — existing workloads (locking
+  sweep, composition matrix) routed through the service with serial
+  result parity;
+* ``python -m repro.service`` — submit, watch, and inspect runs.
+"""
+
+from .store import ArtifactStore, result_key
+from .rundb import RunDatabase, RunRecord, render_records
+from .jobs import (
+    JobContext,
+    JobSpec,
+    JobType,
+    job_function,
+    register_job_type,
+    registered_job_types,
+    run_job,
+)
+from .scheduler import (
+    CANCELLED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SKIPPED,
+    SUCCEEDED,
+    TIMEOUT,
+    Job,
+    Scheduler,
+    SchedulerError,
+)
+from .campaigns import (
+    DEFAULT_STACKS,
+    CampaignError,
+    composition_matrix_campaign,
+    locking_sweep_campaign,
+)
+
+__all__ = [
+    "ArtifactStore", "result_key",
+    "RunDatabase", "RunRecord", "render_records",
+    "JobContext", "JobSpec", "JobType", "job_function",
+    "register_job_type", "registered_job_types", "run_job",
+    "Job", "Scheduler", "SchedulerError",
+    "PENDING", "RUNNING", "SUCCEEDED", "FAILED", "TIMEOUT",
+    "CANCELLED", "SKIPPED",
+    "DEFAULT_STACKS", "CampaignError",
+    "composition_matrix_campaign", "locking_sweep_campaign",
+]

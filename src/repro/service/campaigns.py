@@ -1,0 +1,149 @@
+"""Campaign clients: existing workloads routed through the service.
+
+A *campaign* is a family of independent flow evaluations — the
+locking sweep from :mod:`repro.core.dse`, the composition cross-effect
+matrix from :mod:`repro.core.composition`, benchmark fan-out — turned
+into job specs and drained through the scheduler.  Every client here
+guarantees **result parity**: the deterministic fields of a campaign
+run with ``workers=N`` are identical to the serial implementation,
+point for point, because both call the same per-item kernels on the
+same (round-tripped) inputs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dse import LockingSweepPoint
+from ..netlist import Netlist
+from .jobs import JobSpec
+from .rundb import RunDatabase
+from .scheduler import SUCCEEDED, Scheduler
+from .store import ArtifactStore
+
+
+class CampaignError(Exception):
+    """Raised when a campaign finishes with failed jobs."""
+
+    def __init__(self, message: str, jobs: Dict[str, object]) -> None:
+        super().__init__(message)
+        self.jobs = jobs
+
+
+def _campaign_store(store: Optional[ArtifactStore]) -> ArtifactStore:
+    """The caller's store, or a throwaway one for a single campaign.
+
+    Workers exchange inputs and results through the store, so even a
+    cache-less campaign needs a shared directory; an ephemeral one
+    under the system temp root serves (and demonstrates) that without
+    polluting a real cache.
+    """
+    if store is not None:
+        return store
+    return ArtifactStore(tempfile.mkdtemp(prefix="repro-service-"))
+
+
+def _raise_on_failures(jobs: Dict[str, object], what: str) -> None:
+    bad = {job_id: job for job_id, job in jobs.items()
+           if job.status != SUCCEEDED}
+    if bad:
+        details = "; ".join(
+            f"{job_id}: {job.status}"
+            f"{' — ' + job.error.splitlines()[-1] if job.error else ''}"
+            for job_id, job in list(bad.items())[:5])
+        raise CampaignError(
+            f"{what}: {len(bad)} of {len(jobs)} jobs did not succeed "
+            f"({details})", jobs)
+
+
+def locking_sweep_campaign(netlist: Netlist,
+                           key_widths: Sequence[int],
+                           seed: int = 0,
+                           max_iterations: int = 400,
+                           workers: int = 0,
+                           store: Optional[ArtifactStore] = None,
+                           rundb: Optional[RunDatabase] = None,
+                           timeout: Optional[float] = None,
+                           retries: int = 1
+                           ) -> List[LockingSweepPoint]:
+    """:func:`repro.core.dse.sweep_locking` as a service campaign.
+
+    One ``locking-point`` job per key width (the width-0 baseline is a
+    job like any other — seed threaded uniformly), fanned out over
+    ``workers`` processes.  Deterministic fields (key bits, area, DIP
+    iterations, gave-up flag) are bit-identical to the serial sweep;
+    ``attack_seconds`` is wall time and — uniquely — honest about
+    where the work actually ran.
+    """
+    store = _campaign_store(store)
+    input_hash = store.put_netlist(netlist)
+    scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+    job_ids = []
+    for bits in key_widths:
+        spec = JobSpec(
+            "locking-point",
+            params={"netlist": input_hash, "key_bits": int(bits),
+                    "max_iterations": int(max_iterations)},
+            seed=seed, timeout=timeout, retries=retries)
+        job_ids.append(scheduler.submit(spec))
+    jobs = scheduler.run()
+    _raise_on_failures(jobs, "locking sweep")
+    points = []
+    for job_id in job_ids:
+        row = jobs[job_id].result
+        points.append(LockingSweepPoint(
+            key_bits=int(row["key_bits"]),
+            area=float(row["area"]),
+            sat_attack_iterations=int(row["sat_attack_iterations"]),
+            attack_seconds=float(row["attack_seconds"]),
+            attack_gave_up=bool(row["attack_gave_up"]),
+        ))
+    return points
+
+
+#: The cross-effect matrix evaluated by the composition benchmarks.
+DEFAULT_STACKS: Dict[str, List[str]] = {
+    "duplication": ["duplication"],
+    "parity": ["parity"],
+    "wddl": ["wddl"],
+}
+
+
+def composition_matrix_campaign(
+        design: str = "masked-and",
+        stacks: Optional[Dict[str, Sequence[str]]] = None,
+        engine_params: Optional[Dict[str, object]] = None,
+        seed: int = 1,
+        workers: int = 0,
+        store: Optional[ArtifactStore] = None,
+        rundb: Optional[RunDatabase] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1) -> Dict[str, Dict[str, object]]:
+    """Cross-effect matrix: one ``composition-stack`` job per stack.
+
+    The serial equivalent walks the stacks one at a time through
+    :meth:`~repro.core.composition.CompositionEngine.compose`; here
+    every stack is an independent job (they share nothing but the
+    design factory name), so the matrix parallelizes embarrassingly.
+    Returns stack label -> cross-effect row
+    (see :meth:`~repro.core.composition.CompositionEngine.
+    evaluate_stack_row`).
+    """
+    stacks = dict(stacks if stacks is not None else DEFAULT_STACKS)
+    engine_params = dict(engine_params or
+                         {"n_traces": 4000, "noise_sigma": 0.25})
+    store = _campaign_store(store)
+    scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+    job_ids = {}
+    for label, stack in stacks.items():
+        spec = JobSpec(
+            "composition-stack",
+            params={"design": design, "stack": list(stack),
+                    "engine": engine_params},
+            seed=seed, timeout=timeout, retries=retries)
+        job_ids[label] = scheduler.submit(spec)
+    jobs = scheduler.run()
+    _raise_on_failures(jobs, "composition matrix")
+    return {label: jobs[job_id].result
+            for label, job_id in job_ids.items()}

@@ -1,0 +1,279 @@
+"""``python -m repro.service`` — submit, watch, and inspect runs.
+
+Subcommands::
+
+    sweep    submit a locking-sweep campaign and print the points
+    compose  submit a composition cross-effect campaign
+    jobs     query the run database (filter by run / type / status)
+    runs     list run ids with per-run summaries
+    summary  aggregate run-database statistics
+    store    artifact-store statistics
+
+Campaign commands accept ``--workers N`` (0 = in-process), a
+``--store`` directory for the persistent artifact cache, and a
+``--db`` path for the run database; ``--watch`` streams job state
+transitions as the scheduler makes them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional
+
+from ..netlist import Netlist, c17, ripple_carry_adder
+from .campaigns import (
+    DEFAULT_STACKS,
+    composition_matrix_campaign,
+    locking_sweep_campaign,
+)
+from .rundb import RunDatabase, render_records
+from .store import ArtifactStore
+
+def _present_sbox() -> Netlist:
+    from ..crypto import present_sbox_netlist
+
+    return present_sbox_netlist()
+
+
+#: Named benchmark circuits reachable from the command line.
+BENCH_CIRCUITS: Dict[str, Callable[[], Netlist]] = {
+    "c17": c17,
+    "rca8": lambda: ripple_carry_adder(8),
+    "rca16": lambda: ripple_carry_adder(16),
+    "present-sbox": _present_sbox,
+}
+
+
+def _watcher(enabled: bool):
+    if not enabled:
+        return None
+
+    def on_event(job) -> None:
+        cache = " (cache)" if job.cache_hit else ""
+        extra = (f" — {job.error.splitlines()[-1][:60]}"
+                 if job.error and job.status in
+                 ("failed", "timeout", "pending") else "")
+        print(f"[{job.status:>9}] {job.job_id} "
+              f"attempt={job.attempts}{cache}{extra}", flush=True)
+
+    return on_event
+
+
+def _open_db(args) -> Optional[RunDatabase]:
+    return RunDatabase(args.db) if args.db else None
+
+
+def _open_store(args) -> Optional[ArtifactStore]:
+    return ArtifactStore(args.store) if args.store else None
+
+
+def cmd_sweep(args) -> int:
+    try:
+        make = BENCH_CIRCUITS[args.bench]
+    except KeyError:
+        print(f"unknown bench {args.bench!r}; choose from "
+              f"{sorted(BENCH_CIRCUITS)}")
+        return 2
+    widths = [int(w) for w in args.widths.split(",") if w != ""]
+    store = _open_store(args)
+    rundb = _open_db(args)
+    netlist = make()
+    watcher = _watcher(args.watch)
+    from .scheduler import Scheduler  # noqa: F401 (documented path)
+    points = locking_sweep_campaign(
+        netlist, widths, seed=args.seed,
+        max_iterations=args.max_iterations, workers=args.workers,
+        store=store, rundb=rundb, timeout=args.timeout) \
+        if watcher is None else _sweep_watched(
+            netlist, widths, args, store, rundb, watcher)
+    print(f"\n=== locking sweep: {args.bench} "
+          f"(seed {args.seed}, workers {args.workers}) ===")
+    print(f"{'key bits':>8} {'area':>8} {'DIP iters':>10} "
+          f"{'attack (s)':>11} {'gave up':>8}")
+    for p in points:
+        print(f"{p.key_bits:>8} {p.area:>8.1f} "
+              f"{p.sat_attack_iterations:>10} {p.attack_seconds:>11.3f} "
+              f"{str(p.attack_gave_up):>8}")
+    return 0
+
+
+def _sweep_watched(netlist, widths, args, store, rundb, watcher):
+    """Watched variant: build the scheduler here to attach the callback."""
+    from .campaigns import _campaign_store, _raise_on_failures
+    from .jobs import JobSpec
+    from .scheduler import Scheduler
+    from ..core.dse import LockingSweepPoint
+
+    store = _campaign_store(store)
+    input_hash = store.put_netlist(netlist)
+    scheduler = Scheduler(workers=args.workers, store=store,
+                          rundb=rundb, on_event=watcher)
+    job_ids = [
+        scheduler.submit(JobSpec(
+            "locking-point",
+            params={"netlist": input_hash, "key_bits": int(bits),
+                    "max_iterations": int(args.max_iterations)},
+            seed=args.seed, timeout=args.timeout, retries=1))
+        for bits in widths
+    ]
+    jobs = scheduler.run()
+    _raise_on_failures(jobs, "locking sweep")
+    return [LockingSweepPoint(
+        key_bits=int(jobs[j].result["key_bits"]),
+        area=float(jobs[j].result["area"]),
+        sat_attack_iterations=int(
+            jobs[j].result["sat_attack_iterations"]),
+        attack_seconds=float(jobs[j].result["attack_seconds"]),
+        attack_gave_up=bool(jobs[j].result["attack_gave_up"]))
+        for j in job_ids]
+
+
+def cmd_compose(args) -> int:
+    stacks = ({label: DEFAULT_STACKS[label]
+               for label in args.stacks.split(",")}
+              if args.stacks else None)
+    matrix = composition_matrix_campaign(
+        design=args.design, stacks=stacks,
+        engine_params={"n_traces": args.traces,
+                       "noise_sigma": args.noise},
+        seed=args.seed, workers=args.workers,
+        store=_open_store(args), rundb=_open_db(args),
+        timeout=args.timeout)
+    print(f"\n=== composition matrix: {args.design} "
+          f"(workers {args.workers}) ===")
+    print(f"{'stack':<16} {'TVLA |t| in':>12} {'out':>8} "
+          f"{'FIA cov in':>11} {'out':>6} {'area x':>7} {'flagged':>8}")
+    for label, row in matrix.items():
+        print(f"{label:<16} {row['baseline']['tvla_max_t']:>12.2f} "
+              f"{row['final']['tvla_max_t']:>8.2f} "
+              f"{row['baseline']['fia_coverage']:>11.2f} "
+              f"{row['final']['fia_coverage']:>6.2f} "
+              f"{row['area_factor']:>7.2f} "
+              f"{str(row['flagged']):>8}")
+        for note in row["notes"]:
+            print(f"  !! {note}")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    if not args.db:
+        print("jobs requires --db")
+        return 2
+    db = RunDatabase(args.db)
+    records = db.query(run_id=args.run, job_type=args.type,
+                       status=args.status,
+                       cache_hit=(None if args.cache is None
+                                  else args.cache == "hit"))
+    print(render_records(records))
+    return 0
+
+
+def cmd_runs(args) -> int:
+    if not args.db:
+        print("runs requires --db")
+        return 2
+    db = RunDatabase(args.db)
+    run_ids = db.run_ids()
+    if not run_ids:
+        print("(no runs)")
+        return 0
+    for run_id in run_ids:
+        s = db.summary(run_id)
+        statuses = ", ".join(f"{k}={v}"
+                             for k, v in sorted(s["by_status"].items()))
+        print(f"{run_id}: {s['records']} jobs ({statuses}), "
+              f"cache {s['cache_hit_rate']:.0%}, "
+              f"{s['total_wall_s']:.2f}s wall")
+    return 0
+
+
+def cmd_summary(args) -> int:
+    if not args.db:
+        print("summary requires --db")
+        return 2
+    print(json.dumps(RunDatabase(args.db).summary(run_id=args.run),
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_store(args) -> int:
+    if not args.store:
+        print("store requires --store")
+        return 2
+    store = ArtifactStore(args.store)
+    count = len(store)
+    print(f"store {store.root}: {count} artifacts, "
+          f"{store.total_bytes()} bytes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, campaign: bool = False):
+        p.add_argument("--db", default=None,
+                       help="run-database JSONL path")
+        p.add_argument("--store", default=None,
+                       help="artifact-store root directory")
+        if campaign:
+            p.add_argument("--workers", type=int, default=0,
+                           help="worker processes (0 = in-process)")
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--timeout", type=float, default=None,
+                           help="per-job timeout in seconds")
+            p.add_argument("--watch", action="store_true",
+                           help="stream job state transitions")
+
+    p = sub.add_parser("sweep", help="locking-sweep campaign")
+    p.add_argument("--bench", default="c17",
+                   help=f"circuit: {sorted(BENCH_CIRCUITS)}")
+    p.add_argument("--widths", default="0,2,4,8",
+                   help="comma-separated key widths")
+    p.add_argument("--max-iterations", type=int, default=400)
+    common(p, campaign=True)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("compose", help="composition cross-effect matrix")
+    p.add_argument("--design", default="masked-and")
+    p.add_argument("--stacks", default=None,
+                   help=f"comma-separated from {sorted(DEFAULT_STACKS)}")
+    p.add_argument("--traces", type=int, default=4000)
+    p.add_argument("--noise", type=float, default=0.25)
+    common(p, campaign=True)
+    p.set_defaults(fn=cmd_compose)
+
+    p = sub.add_parser("jobs", help="query job records")
+    p.add_argument("--run", default=None)
+    p.add_argument("--type", default=None)
+    p.add_argument("--status", default=None)
+    p.add_argument("--cache", choices=("hit", "miss"), default=None)
+    common(p)
+    p.set_defaults(fn=cmd_jobs)
+
+    p = sub.add_parser("runs", help="list runs with summaries")
+    common(p)
+    p.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser("summary", help="aggregate statistics")
+    p.add_argument("--run", default=None)
+    common(p)
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("store", help="artifact-store statistics")
+    common(p)
+    p.set_defaults(fn=cmd_store)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""Picklable job specs and the job-type registry.
+
+A job is data, not code: a :class:`JobSpec` names a registered *job
+type* and carries JSON-able parameters, a seed, and an execution
+policy (timeout, retries).  Workers look the type up in the registry
+and run its function — so specs cross process boundaries as small
+pickles, hash stably into artifact-store keys, and can be audited
+statically (``scripts/check_jobs.py``).
+
+Job functions take ``(params, ctx)`` where ``ctx`` is a
+:class:`JobContext` giving the seed, an artifact store opened in the
+worker, and the results of dependency jobs.  They must be
+deterministic in ``(params, seed)`` — that is the contract that makes
+the content-addressed cache sound — and return a JSON-able dict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import canonical_json, stable_hash
+
+#: Registered job types: name -> (function, sample params for audit).
+_JOB_TYPES: Dict[str, "JobType"] = {}
+
+
+@dataclass(frozen=True)
+class JobType:
+    """A registered job kind: its function and an auditable sample."""
+
+    name: str
+    fn: Callable
+    #: Parameters exercising the spec path (never *run* by the audit);
+    #: every registered type must provide them so ``check_jobs`` can
+    #: prove pickle round-trip and hash stability.
+    sample_params: Mapping[str, object] = field(default_factory=dict)
+
+
+def register_job_type(name: str,
+                      sample_params: Optional[Mapping[str, object]] = None):
+    """Decorator: register ``fn`` as the implementation of ``name``."""
+    def wrap(fn: Callable) -> Callable:
+        if name in _JOB_TYPES:
+            raise ValueError(f"duplicate job type {name!r}")
+        _JOB_TYPES[name] = JobType(name, fn, dict(sample_params or {}))
+        return fn
+    return wrap
+
+
+def registered_job_types() -> Dict[str, JobType]:
+    """Name -> :class:`JobType` view of the registry (copy)."""
+    return dict(_JOB_TYPES)
+
+
+def job_function(name: str) -> Callable:
+    """The implementation of a registered job type."""
+    try:
+        return _JOB_TYPES[name].fn
+    except KeyError:
+        known = ", ".join(sorted(_JOB_TYPES))
+        raise KeyError(
+            f"unknown job type {name!r}; registered: {known}") from None
+
+
+@dataclass
+class JobContext:
+    """Execution-side view handed to a job function."""
+
+    seed: int = 0
+    store: Optional[object] = None      # ArtifactStore, opened per worker
+    dep_results: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run: a declarative, picklable, hashable job description.
+
+    ``params`` must be JSON-able (scalars / lists / dicts) — enforced
+    eagerly so a bad spec fails at submission, in the submitting
+    process, not inside a worker.  ``timeout`` is wall seconds (None =
+    unbounded); ``retries`` is the number of *additional* attempts
+    granted after a crash; ``retry_backoff`` the base delay, doubled
+    per attempt.  Timeouts are terminal by default
+    (``retry_on_timeout=False``): a job that exceeds its budget once
+    is presumed to again.  ``cacheable=False`` opts a job out of the
+    artifact-store result cache — for work that is not a pure function
+    of ``(params, seed)``, e.g. wall-clock benchmarking.
+    """
+
+    job_type: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 0
+    timeout: Optional[float] = None
+    retries: int = 0
+    retry_backoff: float = 0.05
+    retry_on_timeout: bool = False
+    cacheable: bool = True
+
+    def __init__(self, job_type: str,
+                 params: Optional[Mapping[str, object]] = None,
+                 seed: int = 0, timeout: Optional[float] = None,
+                 retries: int = 0, retry_backoff: float = 0.05,
+                 retry_on_timeout: bool = False,
+                 cacheable: bool = True) -> None:
+        params_map = dict(params or {})
+        canonical_json(params_map)   # raises TypeError on non-JSON values
+        # Stored as sorted key/value tuples: immutable (the spec is
+        # frozen and usable as a dict key) and canonically ordered (two
+        # specs differing only in dict insertion order are equal).
+        object.__setattr__(self, "params", tuple(
+            (k, _freeze(params_map[k])) for k in sorted(params_map)))
+        object.__setattr__(self, "job_type", job_type)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "timeout", timeout)
+        object.__setattr__(self, "retries", retries)
+        object.__setattr__(self, "retry_backoff", retry_backoff)
+        object.__setattr__(self, "retry_on_timeout", retry_on_timeout)
+        object.__setattr__(self, "cacheable", cacheable)
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """Parameters back as a plain dict (thawed copy)."""
+        return {k: _thaw(v) for k, v in self.params}
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the *computation* this spec names.
+
+        Covers job type, parameters, and seed — not the execution
+        policy (timeout/retries), which changes how hard we try, not
+        what is computed.  This is the artifact-store key: same hash,
+        same result.
+        """
+        return stable_hash({"job_type": self.job_type,
+                            "params": self.params_dict,
+                            "seed": self.seed})
+
+    def describe(self) -> str:
+        return f"{self.job_type}[{self.spec_hash[:10]}]"
+
+
+def _freeze(value):
+    """Recursively convert JSON values to hashable immutables."""
+    if isinstance(value, dict):
+        return tuple((k, _freeze(value[k])) for k in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` (dict-shaped tuples back to dicts)."""
+    if isinstance(value, tuple):
+        if value and all(isinstance(item, tuple) and len(item) == 2
+                         and isinstance(item[0], str) for item in value):
+            return {k: _thaw(v) for k, v in value}
+        return [_thaw(v) for v in value]
+    return value
+
+
+def run_job(spec: JobSpec, ctx: JobContext):
+    """Execute a spec's function in the current process."""
+    return job_function(spec.job_type)(spec.params_dict, ctx)
+
+
+# ----------------------------------------------------------------------
+# Stock job types — the service's production workloads
+# ----------------------------------------------------------------------
+
+
+@register_job_type("locking-point", sample_params={
+    "netlist": "0" * 64, "key_bits": 4, "max_iterations": 100,
+    "baseline_area": None})
+def _locking_point_job(params: Dict[str, object], ctx: JobContext):
+    """One point of a locking sweep: lock at ``key_bits``, SAT-attack.
+
+    ``params['netlist']`` is an artifact-store digest; the worker
+    rebuilds the netlist (insertion order preserved), so the seeded
+    site selection — and therefore the attack transcript — is
+    bit-identical to a serial run on the original object.
+    """
+    from ..core.dse import measure_locking_point
+
+    netlist = ctx.store.get_netlist(str(params["netlist"]))
+    if netlist is None:
+        raise RuntimeError(
+            f"input netlist {params['netlist']!r} not in store")
+    baseline = params.get("baseline_area")
+    point = measure_locking_point(
+        netlist, int(params["key_bits"]), seed=ctx.seed,
+        max_iterations=int(params.get("max_iterations", 400)),
+        baseline_area=None if baseline is None else float(baseline))
+    return {
+        "key_bits": point.key_bits,
+        "area": point.area,
+        "sat_attack_iterations": point.sat_attack_iterations,
+        "attack_seconds": point.attack_seconds,
+        "attack_gave_up": point.attack_gave_up,
+    }
+
+
+@register_job_type("composition-stack", sample_params={
+    "design": "masked-and", "stack": ["duplication"],
+    "engine": {"n_traces": 400, "noise_sigma": 0.25,
+               "n_fault_vectors": 16}})
+def _composition_stack_job(params: Dict[str, object], ctx: JobContext):
+    """One cross-effect matrix row: compose a named stack, re-verify.
+
+    Designs and countermeasures are addressed by registry name
+    (:mod:`repro.core.designs`) because they hold closures that cannot
+    cross process boundaries.
+    """
+    from ..core import CompositionEngine
+
+    engine_params = dict(params.get("engine", {}))
+    engine = CompositionEngine(seed=ctx.seed, **{
+        k: v for k, v in engine_params.items()
+        if k in ("n_traces", "noise_sigma", "n_fault_vectors",
+                 "tvla_threshold")})
+    return engine.evaluate_stack_row(str(params["design"]),
+                                     list(params["stack"]))
+
+
+@register_job_type("netlist-ppa", sample_params={"netlist": "0" * 64})
+def _netlist_ppa_job(params: Dict[str, object], ctx: JobContext):
+    """PPA report of a stored netlist (cheap; DAG glue and smoke tests)."""
+    from ..netlist import ppa_report
+
+    netlist = ctx.store.get_netlist(str(params["netlist"]))
+    if netlist is None:
+        raise RuntimeError(
+            f"input netlist {params['netlist']!r} not in store")
+    ppa = ppa_report(netlist)
+    return {"area": ppa.area, "delay": ppa.delay,
+            "leakage_power": ppa.leakage_power,
+            "cells": netlist.num_cells()}
+
+
+@register_job_type("pytest-bench", sample_params={
+    "target": "benchmarks/bench_fig1.py", "flags": [],
+    "cwd": ".", "pythonpath": "src"})
+def _pytest_bench_job(params: Dict[str, object], ctx: JobContext):
+    """Run one pytest-benchmark target; return its benchmark JSON.
+
+    The fan-out unit of ``run_bench.py --jobs N``.  Timing results are
+    not a pure function of the spec, so submit these with
+    ``cacheable=False``.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+
+    del ctx
+    cwd = str(params.get("cwd", "."))
+    with tempfile.NamedTemporaryFile(suffix=".json",
+                                     delete=False) as handle:
+        out_path = handle.name
+    env = dict(os.environ)
+    pythonpath = str(params.get("pythonpath", ""))
+    if pythonpath:
+        env["PYTHONPATH"] = (pythonpath + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+    cmd = [sys.executable, "-m", "pytest", "-q", str(params["target"]),
+           *[str(f) for f in params.get("flags", [])],
+           f"--benchmark-json={out_path}"]
+    proc = subprocess.run(cmd, cwd=cwd, env=env, capture_output=True,
+                          text=True)
+    try:
+        with open(out_path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        doc = None
+    finally:
+        try:
+            os.unlink(out_path)
+        except OSError:
+            pass
+    return {
+        "target": params["target"],
+        "returncode": proc.returncode,
+        "doc": doc,
+        "tail": proc.stdout[-2000:] + proc.stderr[-1000:],
+    }
+
+
+@register_job_type("pass-pipeline", sample_params={
+    "netlist": "0" * 64,
+    "passes": [["synthesis-stage", {}]]})
+def _pass_pipeline_job(params: Dict[str, object], ctx: JobContext):
+    """Run a named pass pipeline over a stored netlist.
+
+    ``params['passes']`` is a list of ``[pass name, ctor kwargs]``
+    pairs resolved through the flow pass registry.  The transformed
+    netlist is published back into the store and the full
+    :class:`~repro.flow.manager.FlowTrace` dict is returned — the
+    round-trip (``FlowTrace.from_dict``) reconstructs it client-side.
+    """
+    from ..flow import PassManager, create_pass, netlist_design
+
+    netlist = ctx.store.get_netlist(str(params["netlist"]))
+    if netlist is None:
+        raise RuntimeError(
+            f"input netlist {params['netlist']!r} not in store")
+    passes = [create_pass(str(name), **dict(kwargs))
+              for name, kwargs in params["passes"]]
+    manager = PassManager(seed=ctx.seed)
+    outcome = manager.run(netlist_design(netlist, seed=ctx.seed), passes)
+    result_digest = ctx.store.put_netlist(outcome.design.netlist)
+    return {"trace": outcome.trace.to_dict(),
+            "result_netlist": result_digest}

@@ -1,0 +1,147 @@
+"""Append-only run database with a query API.
+
+Every job the scheduler finishes — succeeded, cache-served, failed,
+timed out, cancelled, or skipped — appends one JSON line here.  The
+file is the system of record for campaign forensics: *what ran, where,
+how many attempts, how long, and was it computed or served from the
+artifact store*.
+
+JSONL was chosen over SQLite deliberately: appends from the scheduler
+process are atomic at line granularity, the file is greppable and
+diff-able, and the query API below loads and filters it in one pass —
+plenty for campaign-scale record counts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+
+@dataclass
+class RunRecord:
+    """One job outcome, as logged by the scheduler."""
+
+    run_id: str
+    job_id: str
+    job_type: str
+    spec_hash: str
+    status: str                 # "succeeded" | "failed" | "timeout" |
+                                # "cancelled" | "skipped"
+    attempts: int = 0
+    wall_s: float = 0.0
+    cache_hit: bool = False
+    worker: str = ""
+    error: str = ""
+    seed: int = 0
+    finished_at: float = field(default_factory=time.time)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        known = {f: data[f] for f in cls.__dataclass_fields__
+                 if f in data}
+        return cls(**known)
+
+
+class RunDatabase:
+    """JSONL-backed, append-only log of job outcomes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def record(self, rec: RunRecord) -> None:
+        """Append one record and flush it to disk."""
+        line = json.dumps(rec.as_dict(), separators=(",", ":"))
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> List[RunRecord]:
+        """All records in append order (empty if the file is absent)."""
+        if not self.path.exists():
+            return []
+        out: List[RunRecord] = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(RunRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    continue   # a torn tail line never poisons queries
+        return out
+
+    def query(self, run_id: Optional[str] = None,
+              job_type: Optional[str] = None,
+              status: Optional[str] = None,
+              cache_hit: Optional[bool] = None,
+              since: Optional[float] = None) -> List[RunRecord]:
+        """Filtered view of the log; all filters are conjunctive."""
+        out = []
+        for rec in self.records():
+            if run_id is not None and rec.run_id != run_id:
+                continue
+            if job_type is not None and rec.job_type != job_type:
+                continue
+            if status is not None and rec.status != status:
+                continue
+            if cache_hit is not None and rec.cache_hit != cache_hit:
+                continue
+            if since is not None and rec.finished_at < since:
+                continue
+            out.append(rec)
+        return out
+
+    def run_ids(self) -> List[str]:
+        """Distinct run ids in first-seen order."""
+        seen: Dict[str, None] = {}
+        for rec in self.records():
+            seen.setdefault(rec.run_id, None)
+        return list(seen)
+
+    def summary(self, run_id: Optional[str] = None) -> Dict[str, object]:
+        """Aggregate view: counts by status, cache traffic, wall time."""
+        records = self.query(run_id=run_id)
+        by_status: Dict[str, int] = {}
+        for rec in records:
+            by_status[rec.status] = by_status.get(rec.status, 0) + 1
+        finished = [r for r in records
+                    if r.status in ("succeeded", "failed", "timeout")]
+        hits = sum(1 for r in records if r.cache_hit)
+        return {
+            "records": len(records),
+            "by_status": by_status,
+            "cache_hits": hits,
+            "cache_hit_rate": (hits / len(records)) if records else 0.0,
+            "total_wall_s": sum(r.wall_s for r in finished),
+            "total_attempts": sum(r.attempts for r in records),
+            "runs": len({r.run_id for r in records}),
+        }
+
+
+def render_records(records: Iterable[RunRecord]) -> str:
+    """Fixed-width table of records for the CLI."""
+    rows = list(records)
+    if not rows:
+        return "(no records)"
+    lines = [f"{'job':<26} {'type':<20} {'status':<10} {'att':>3} "
+             f"{'wall (s)':>9} {'cache':>5}  {'worker':<8} error"]
+    for r in rows:
+        lines.append(
+            f"{r.job_id:<26.26} {r.job_type:<20.20} {r.status:<10} "
+            f"{r.attempts:>3} {r.wall_s:>9.3f} "
+            f"{'hit' if r.cache_hit else '-':>5}  {r.worker:<8.8} "
+            f"{r.error.splitlines()[0][:40] if r.error else ''}")
+    return "\n".join(lines)

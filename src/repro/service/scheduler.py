@@ -1,0 +1,458 @@
+"""Multiprocess DAG scheduler with crash isolation and a result cache.
+
+Jobs (:class:`~repro.service.jobs.JobSpec`) are submitted with
+dependencies forming a DAG.  :meth:`Scheduler.run` drains it:
+
+* **cache first** — before a job is ever dispatched, its
+  ``spec_hash`` is looked up in the artifact store; a hit completes
+  the job instantly (recorded as ``cache_hit`` in the run database);
+* **one process per job** — each dispatch forks a worker that sends
+  its result back over a pipe.  A worker dying mid-job (segfault,
+  ``os._exit``, OOM kill) fails *only* that job: the parent notices
+  the dead process, and retries with exponential backoff while the
+  spec's budget lasts;
+* **timeouts** — a job exceeding ``spec.timeout`` wall seconds is
+  terminated and failed (terminal by default) without stalling
+  siblings;
+* **cancellation** — :meth:`cancel` withdraws a pending job (and
+  terminates it if already running); its dependents are skipped;
+* **degradation** — ``workers=0`` runs everything in-process, in
+  deterministic submission-DAG order: no pickling, no forks, no
+  timeout enforcement — the debugging mode.
+
+The scheduler is deliberately *not* a thread pool around shared
+memory: worker isolation is the point.  The paper's campaign shape —
+many independent flow evaluations, each seconds long — wants process
+granularity, and the artifact store (not IPC) is the durable data
+plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .jobs import JobContext, JobSpec, run_job
+from .rundb import RunDatabase, RunRecord
+from .store import ArtifactStore
+
+#: Job lifecycle states.  Terminal: succeeded / failed / timeout /
+#: cancelled / skipped.
+PENDING = "pending"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+SKIPPED = "skipped"
+
+_TERMINAL = frozenset({SUCCEEDED, FAILED, TIMEOUT, CANCELLED, SKIPPED})
+
+
+@dataclass
+class Job:
+    """Scheduler-side state of one submitted spec."""
+
+    job_id: str
+    spec: JobSpec
+    deps: Tuple[str, ...] = ()
+    status: str = PENDING
+    attempts: int = 0
+    result: Optional[object] = None
+    error: str = ""
+    cache_hit: bool = False
+    wall_s: float = 0.0
+    worker: str = ""
+    not_before: float = 0.0     # backoff gate for the next attempt
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+
+class _Running:
+    """Bookkeeping for one live worker process."""
+
+    def __init__(self, job: Job, process, conn, started: float) -> None:
+        self.job = job
+        self.process = process
+        self.conn = conn
+        self.started = started
+
+
+def _worker_main(conn, spec_bytes: bytes, store_root: Optional[str],
+                 seed: int, dep_results: Dict[str, object]) -> None:
+    """Worker entry point: run one job, ship the outcome, exit.
+
+    The spec travels pickled even under the fork start method so that
+    an unpicklable spec fails loudly on every platform, not just where
+    ``spawn`` is the default.
+    """
+    import pickle
+
+    try:
+        spec: JobSpec = pickle.loads(spec_bytes)
+        store = ArtifactStore(store_root) if store_root else None
+        ctx = JobContext(seed=seed, store=store,
+                         dep_results=dep_results)
+        result = run_job(spec, ctx)
+        conn.send(("ok", result))
+    except BaseException:   # noqa: BLE001 — the pipe is the report
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class SchedulerError(Exception):
+    """Raised for structural scheduling mistakes (cycles, bad deps)."""
+
+
+class Scheduler:
+    """Executes a job DAG over a worker pool with a durable cache.
+
+    ``workers`` bounds concurrent worker processes (0 = in-process).
+    ``store`` (optional) enables the content-addressed result cache;
+    ``rundb`` (optional) records every outcome.  ``on_event`` is
+    called as ``on_event(job)`` at each status transition — the CLI's
+    watch mode.
+    """
+
+    def __init__(self, workers: int = 0,
+                 store: Optional[ArtifactStore] = None,
+                 rundb: Optional[RunDatabase] = None,
+                 run_id: Optional[str] = None,
+                 poll_interval: float = 0.005,
+                 on_event: Optional[Callable[[Job], None]] = None) -> None:
+        if workers < 0:
+            raise SchedulerError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.store = store
+        self.rundb = rundb
+        self.run_id = run_id or (
+            f"run-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        self.poll_interval = poll_interval
+        self.on_event = on_event
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []     # submission order
+        self._ids = itertools.count(1)
+        methods = multiprocessing.get_all_start_methods()
+        self._mp = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: JobSpec, deps: Sequence[str] = (),
+               job_id: Optional[str] = None) -> str:
+        """Register a job; returns its id.  ``deps`` are prior job ids."""
+        job_id = job_id or f"j{next(self._ids):04d}-{spec.job_type}"
+        if job_id in self.jobs:
+            raise SchedulerError(f"duplicate job id {job_id!r}")
+        for dep in deps:
+            if dep not in self.jobs:
+                raise SchedulerError(
+                    f"job {job_id!r} depends on unknown job {dep!r} "
+                    "(submit dependencies first)")
+        job = Job(job_id, spec, tuple(deps))
+        self.jobs[job_id] = job
+        self._order.append(job_id)
+        return job_id
+
+    def cancel(self, job_id: str) -> None:
+        """Withdraw a job; its dependents will be skipped."""
+        job = self.jobs[job_id]
+        if not job.done:
+            self._finish(job, CANCELLED)
+
+    # -- state transitions ---------------------------------------------
+
+    def _emit(self, job: Job) -> None:
+        if self.on_event is not None:
+            self.on_event(job)
+
+    def _finish(self, job: Job, status: str, result=None,
+                error: str = "", wall_s: float = 0.0,
+                worker: str = "", cache_hit: bool = False) -> None:
+        job.status = status
+        job.result = result
+        job.error = error
+        job.wall_s = wall_s
+        job.worker = worker
+        job.cache_hit = cache_hit
+        self._emit(job)
+        if (status == SUCCEEDED and not cache_hit
+                and self.store is not None and job.spec.cacheable):
+            self.store.put(job.spec.spec_hash,
+                           {"result": result,
+                            "job_type": job.spec.job_type,
+                            "seed": job.spec.seed})
+        if self.rundb is not None:
+            self.rundb.record(RunRecord(
+                run_id=self.run_id, job_id=job.job_id,
+                job_type=job.spec.job_type,
+                spec_hash=job.spec.spec_hash, status=status,
+                attempts=job.attempts, wall_s=wall_s,
+                cache_hit=cache_hit, worker=worker, error=error,
+                seed=job.spec.seed))
+
+    def _dep_state(self, job: Job) -> str:
+        """"ready" | "waiting" | "blocked" from dependency statuses."""
+        for dep in job.deps:
+            status = self.jobs[dep].status
+            if status in (FAILED, TIMEOUT, CANCELLED, SKIPPED):
+                return "blocked"
+            if status != SUCCEEDED:
+                return "waiting"
+        return "ready"
+
+    def _serve_from_cache(self, job: Job) -> bool:
+        if self.store is None or not job.spec.cacheable:
+            return False
+        payload = self.store.get(job.spec.spec_hash)
+        if payload is None:
+            return False
+        self._finish(job, SUCCEEDED, result=payload.get("result"),
+                     cache_hit=True, worker="cache")
+        return True
+
+    def _dep_results(self, job: Job) -> Dict[str, object]:
+        return {dep: self.jobs[dep].result for dep in job.deps}
+
+    # -- in-process (workers=0) ----------------------------------------
+
+    def _run_inline(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for job_id in self._order:
+                job = self.jobs[job_id]
+                if job.done or self._dep_state(job) != "ready":
+                    continue
+                progressed = True
+                if self._serve_from_cache(job):
+                    continue
+                # Per-job attempt loop: inline mode has no crash
+                # isolation and cannot enforce timeouts, but the retry
+                # policy still applies to exceptions.
+                while True:
+                    job.attempts += 1
+                    job.status = RUNNING
+                    self._emit(job)
+                    started = time.perf_counter()
+                    ctx = JobContext(
+                        seed=job.spec.seed, store=self.store,
+                        dep_results=self._dep_results(job))
+                    try:
+                        result = run_job(job.spec, ctx)
+                    except Exception:   # noqa: BLE001
+                        status = self._attempt_failed(
+                            job, traceback.format_exc(),
+                            time.perf_counter() - started, "inline",
+                            retryable=True)
+                        if status == PENDING:
+                            time.sleep(max(
+                                0.0, job.not_before
+                                - time.perf_counter()))
+                            continue
+                    else:
+                        self._finish(
+                            job, SUCCEEDED, result=result,
+                            wall_s=time.perf_counter() - started,
+                            worker="inline")
+                    break
+        self._skip_blocked()
+
+    # -- multiprocess --------------------------------------------------
+
+    def _launch(self, job: Job) -> _Running:
+        import pickle
+
+        job.attempts += 1
+        job.status = RUNNING
+        self._emit(job)
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(child_conn, pickle.dumps(job.spec),
+                  str(self.store.root) if self.store is not None
+                  else None,
+                  job.spec.seed, self._dep_results(job)),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return _Running(job, process, parent_conn, time.perf_counter())
+
+    def _reap(self, running: _Running) -> Optional[str]:
+        """Poll one live worker; returns the job's new status or None."""
+        job = running.job
+        now = time.perf_counter()
+        if running.conn.poll():
+            try:
+                kind, payload = running.conn.recv()
+            except (EOFError, OSError):
+                kind, payload = "crash", "result pipe broke mid-send"
+            running.process.join()
+            running.conn.close()
+            wall = now - running.started
+            worker = f"pid{running.process.pid}"
+            if kind == "ok":
+                self._finish(job, SUCCEEDED, result=payload,
+                             wall_s=wall, worker=worker)
+                return SUCCEEDED
+            error = str(payload)
+            return self._attempt_failed(job, error, wall, worker,
+                                        retryable=True)
+        if job.spec.timeout is not None \
+                and now - running.started > job.spec.timeout:
+            running.process.terminate()
+            running.process.join()
+            running.conn.close()
+            wall = now - running.started
+            worker = f"pid{running.process.pid}"
+            error = (f"timeout: exceeded {job.spec.timeout:.3f}s "
+                     f"budget after {wall:.3f}s")
+            if job.spec.retry_on_timeout:
+                return self._attempt_failed(job, error, wall, worker,
+                                            retryable=True,
+                                            terminal_status=TIMEOUT)
+            self._finish(job, TIMEOUT, error=error, wall_s=wall,
+                         worker=worker)
+            return TIMEOUT
+        if not running.process.is_alive():
+            # Died without reporting: crash (os._exit, signal, OOM).
+            running.process.join()
+            running.conn.close()
+            wall = now - running.started
+            worker = f"pid{running.process.pid}"
+            error = (f"worker crashed with exit code "
+                     f"{running.process.exitcode} before reporting")
+            return self._attempt_failed(job, error, wall, worker,
+                                        retryable=True)
+        return None
+
+    def _attempt_failed(self, job: Job, error: str, wall: float,
+                        worker: str, retryable: bool,
+                        terminal_status: str = FAILED) -> str:
+        if retryable and job.attempts <= job.spec.retries:
+            backoff = job.spec.retry_backoff * (
+                2 ** (job.attempts - 1))
+            job.status = PENDING
+            job.not_before = time.perf_counter() + backoff
+            job.error = error
+            self._emit(job)
+            return PENDING
+        self._finish(job, terminal_status, error=error, wall_s=wall,
+                     worker=worker)
+        return terminal_status
+
+    def _skip_blocked(self) -> None:
+        """Mark jobs whose dependencies terminally failed as skipped."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for job in self.jobs.values():
+                if not job.done and self._dep_state(job) == "blocked":
+                    failed_deps = [
+                        d for d in job.deps
+                        if self.jobs[d].status in
+                        (FAILED, TIMEOUT, CANCELLED, SKIPPED)]
+                    self._finish(
+                        job, SKIPPED,
+                        error="dependency failed: "
+                              + ", ".join(failed_deps))
+                    progressed = True
+
+    def _run_pool(self) -> None:
+        running: List[_Running] = []
+        while True:
+            # Reap finished / timed-out / crashed workers.
+            still: List[_Running] = []
+            for entry in running:
+                outcome = self._reap(entry)
+                if outcome is None:
+                    still.append(entry)
+            running = still
+            self._skip_blocked()
+            # Launch ready jobs into free slots (submission order; a
+            # job in backoff yields its slot to later ready jobs).
+            now = time.perf_counter()
+            for job_id in self._order:
+                if len(running) >= self.workers:
+                    break
+                job = self.jobs[job_id]
+                if (job.done or job.status == RUNNING
+                        or self._dep_state(job) != "ready"
+                        or job.not_before > now):
+                    continue
+                if self._serve_from_cache(job):
+                    continue
+                running.append(self._launch(job))
+            if not running:
+                pending = [j for j in self.jobs.values() if not j.done]
+                if not pending:
+                    break
+                # Nothing is running but work remains: with an acyclic
+                # DAG that means every runnable job sits behind a
+                # backoff gate.  Sleep until the earliest one opens.
+                gates = [j.not_before for j in pending
+                         if j.not_before > now]
+                if gates:
+                    time.sleep(max(0.0,
+                                   min(gates) - time.perf_counter()))
+                continue
+            time.sleep(self.poll_interval)
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self) -> Dict[str, Job]:
+        """Drain the DAG; returns the final job table."""
+        self._check_acyclic()
+        if self.workers == 0:
+            self._run_inline()
+        else:
+            self._run_pool()
+        return dict(self.jobs)
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}   # 0 visiting, 1 done
+
+        def visit(job_id: str, chain: Tuple[str, ...]) -> None:
+            mark = state.get(job_id)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise SchedulerError(
+                    "dependency cycle: " + " -> ".join(
+                        chain + (job_id,)))
+            state[job_id] = 0
+            for dep in self.jobs[job_id].deps:
+                visit(dep, chain + (job_id,))
+            state[job_id] = 1
+
+        for job_id in self._order:
+            visit(job_id, ())
+
+    # -- results -------------------------------------------------------
+
+    def results(self) -> Dict[str, object]:
+        """job id -> result for every succeeded job."""
+        return {j.job_id: j.result for j in self.jobs.values()
+                if j.status == SUCCEEDED}
+
+    def counts(self) -> Dict[str, int]:
+        """Status -> job count."""
+        out: Dict[str, int] = {}
+        for job in self.jobs.values():
+            out[job.status] = out.get(job.status, 0) + 1
+        return out

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk artifact store.
+
+Every expensive flow result — a locking-sweep point, a composition
+cross-effect row, a serialized netlist, a :class:`~repro.flow.manager.
+FlowTrace` dict — is an *artifact*, addressed by the SHA-256 digest of
+what produced it: ``(input netlist hash, pipeline/params hash, seed)``.
+Re-running an identical flow in any later process, on any worker, is a
+store hit instead of a recomputation.
+
+Layout: artifacts live under ``root/<digest[:2]>/<digest[2:]>.json`` —
+sharded by the first byte so no directory grows unboundedly.  Writes
+are atomic (``os.replace`` of a same-directory temp file), so
+concurrent workers racing to publish the same artifact are harmless:
+last writer wins with identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..netlist import (
+    Netlist,
+    netlist_from_dict,
+    netlist_hash,
+    netlist_to_dict,
+    stable_hash,
+)
+
+
+def result_key(input_hash: str, pipeline_hash: str, seed: int) -> str:
+    """Digest addressing one flow result.
+
+    ``input_hash`` is a structural netlist digest (or another
+    artifact's digest), ``pipeline_hash`` a :func:`~repro.netlist.
+    stable_hash` of the job/pipeline spec, ``seed`` the run seed —
+    together the complete causal key of a deterministic flow result.
+    """
+    return stable_hash({"input": input_hash, "pipeline": pipeline_hash,
+                        "seed": seed})
+
+
+class ArtifactStore:
+    """Sharded, content-addressed JSON artifact store.
+
+    ``hits`` / ``misses`` count :meth:`get` traffic in this process;
+    the authoritative cross-process record is the run database.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ----------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        if len(digest) < 3:
+            raise ValueError(f"digest too short: {digest!r}")
+        return self.root / digest[:2] / f"{digest[2:]}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    # -- generic JSON artifacts ----------------------------------------
+
+    def put(self, digest: str, payload: Dict[str, object]) -> Path:
+        """Atomically persist ``payload`` under ``digest``."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """Payload stored under ``digest``, or ``None`` (counted)."""
+        path = self._path(digest)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # A torn read can only happen for a file that exists but is
+            # mid-publish from another worker; treat it as a miss — the
+            # recomputation republishes identical content.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    # -- netlists ------------------------------------------------------
+
+    def put_netlist(self, netlist: Netlist) -> str:
+        """Persist a netlist; returns its structural digest.
+
+        Content-addressed: the digest is :func:`~repro.netlist.
+        netlist_hash`, so structurally identical netlists share one
+        artifact.  The stored payload keeps insertion order, so any
+        worker that loads it reproduces seeded transforms bit-exactly.
+        """
+        digest = netlist_hash(netlist)
+        if digest not in self:
+            self.put(digest, netlist_to_dict(netlist))
+        return digest
+
+    def get_netlist(self, digest: str) -> Optional[Netlist]:
+        """Load a netlist artifact back into a :class:`Netlist`."""
+        payload = self.get(digest)
+        if payload is None:
+            return None
+        return netlist_from_dict(payload)
+
+    # -- introspection -------------------------------------------------
+
+    def digests(self) -> Iterator[str]:
+        """All artifact digests currently in the store."""
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            for path in sorted(shard.iterdir()):
+                if path.suffix == ".json":
+                    yield shard.name + path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def __bool__(self) -> bool:
+        # An empty store is still a store: without this, ``__len__``
+        # makes ``if store:`` false on first use and optional-store
+        # call sites silently skip the cache.
+        return True
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across all artifacts."""
+        return sum(
+            self._path(d).stat().st_size for d in self.digests())
+
+    def __repr__(self) -> str:
+        return (f"ArtifactStore({str(self.root)!r}, "
+                f"artifacts={len(self)}, hits={self.hits}, "
+                f"misses={self.misses})")

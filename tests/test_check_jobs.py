@@ -1,0 +1,78 @@
+"""CI gate: the service job-registry static audit, run as a tier-1 test.
+
+Mirrors ``tests/test_check_passes.py`` — the audit is importable for
+in-process checks and runnable as a script with exit-code semantics.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import test_service_scheduler  # noqa: F401  registers the t-* job types
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_check_jobs():
+    spec = importlib.util.spec_from_file_location(
+        "check_jobs", REPO_ROOT / "scripts" / "check_jobs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestJobRegistryAudit:
+    def test_registry_is_clean(self):
+        # Includes the fault-injection job types the scheduler tests
+        # register: even process-hostile test jobs must ship auditable
+        # specs.
+        assert load_check_jobs().audit() == []
+
+    def test_audit_catches_unpicklable_and_undocumented(self):
+        from repro.service import jobs as jobs_mod
+        from repro.service.jobs import JobType
+
+        check_jobs = load_check_jobs()
+
+        def lambda_like(params, ctx):
+            return None
+
+        lambda_like.__qualname__ = "make.<locals>.lambda_like"
+        jobs_mod._JOB_TYPES["t-bad-audit"] = JobType(
+            "t-bad-audit", lambda_like, {})
+        try:
+            problems = "\n".join(check_jobs.audit())
+        finally:
+            del jobs_mod._JOB_TYPES["t-bad-audit"]
+        assert "t-bad-audit" in problems
+        assert "docstring" in problems
+        assert "no sample_params" in problems
+        assert check_jobs.audit() == []   # cleanup verified
+
+    def test_audit_catches_non_json_sample_params(self):
+        from repro.service import jobs as jobs_mod
+        from repro.service.jobs import JobType
+
+        check_jobs = load_check_jobs()
+
+        def documented(params, ctx):
+            """Documented but with an unserialisable sample."""
+            return None
+
+        jobs_mod._JOB_TYPES["t-bad-params"] = JobType(
+            "t-bad-params", documented, {"fn": object()})
+        try:
+            problems = "\n".join(check_jobs.audit())
+        finally:
+            del jobs_mod._JOB_TYPES["t-bad-params"]
+        assert "t-bad-params" in problems
+        assert "JSON" in problems
+
+    def test_script_exits_zero_on_clean_registry(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" /
+                                 "check_jobs.py")],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "picklable and hash-stable" in proc.stdout

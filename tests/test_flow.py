@@ -240,6 +240,27 @@ class TestSecureAesProvenance:
         assert data["failures"] == []
         assert data["total_wall_ms"] > 0
 
+    def test_trace_round_trips_losslessly(self, outcome):
+        from repro.flow import FlowTrace
+
+        d = outcome.trace.to_dict()
+        revived = FlowTrace.from_dict(json.loads(json.dumps(d)))
+        # Dict-level fixed point: serialising the revived trace yields
+        # byte-identical JSON — what the run database stores is exactly
+        # what a client reconstructs.
+        assert revived.to_dict() == d
+        # Dataclass equality is a fixed point too (wall times are
+        # ms-rounded by serialisation, so the original trace differs
+        # only there; everything structural survives).
+        assert FlowTrace.from_dict(revived.to_dict()) == revived
+        assert revived.design_name == outcome.trace.design_name
+        assert ([p.pass_name for p in revived.passes]
+                == [p.pass_name for p in outcome.trace.passes])
+        assert ([[r.key for r in p.rechecks] for p in revived.passes]
+                == [[r.key for r in p.rechecks]
+                    for p in outcome.trace.passes])
+        assert revived.failures == outcome.trace.failures
+
     def test_render_mentions_passes_and_checks(self, outcome):
         text = outcome.trace.render()
         assert "mask-insertion" in text

@@ -1,0 +1,176 @@
+"""Content-addressed artifact store and canonical netlist hashing."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    GateType,
+    Netlist,
+    c17,
+    canonical_form,
+    canonical_json,
+    netlist_from_dict,
+    netlist_hash,
+    netlist_to_dict,
+    random_circuit,
+    ripple_carry_adder,
+    stable_hash,
+    simulate,
+)
+from repro.service import ArtifactStore, result_key
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_order_invariant(self):
+        assert (stable_hash({"x": 1, "y": 2})
+                == stable_hash({"y": 2, "x": 1}))
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_json({"fn": lambda: None})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestNetlistRoundTrip:
+    @pytest.mark.parametrize("make", [c17,
+                                      lambda: ripple_carry_adder(4)])
+    def test_transport_round_trip_preserves_order(self, make):
+        netlist = make()
+        clone = netlist_from_dict(netlist_to_dict(netlist))
+        # Insertion order is semantic (seeded site enumeration walks
+        # it), so the transport form must preserve it exactly.
+        assert list(clone.gates) == list(netlist.gates)
+        assert clone.outputs == netlist.outputs
+        for name, gate in netlist.gates.items():
+            assert clone.gates[name].gate_type == gate.gate_type
+            assert clone.gates[name].fanins == gate.fanins
+
+    def test_round_trip_simulates_identically(self):
+        netlist = ripple_carry_adder(4)
+        clone = netlist_from_dict(netlist_to_dict(netlist))
+        stim = {name: 0b1010 for name in netlist.inputs}
+        assert simulate(clone, stim) == simulate(netlist, stim)
+
+
+def _permuted_clone(netlist: Netlist, order) -> Netlist:
+    """Same structure, gates inserted in a different order."""
+    clone = Netlist(netlist.name)
+    names = list(netlist.gates)
+    for i in order:
+        gate = netlist.gates[names[i]]
+        clone.add_gate(gate.name, gate.gate_type, list(gate.fanins))
+    for out in netlist.outputs:
+        clone.add_output(out)
+    return clone
+
+
+class TestCanonicalHash:
+    def test_name_excluded(self):
+        a, b = c17(), c17()
+        b.name = "other"
+        assert netlist_hash(a) == netlist_hash(b)
+
+    def test_structure_included(self):
+        a = c17()
+        b = c17()
+        b.add_gate("extra", GateType.NOT, [b.outputs[0]])
+        assert netlist_hash(a) != netlist_hash(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_insertion_order_independent(self, data):
+        seed = data.draw(st.integers(0, 2**16), label="circuit seed")
+        netlist = random_circuit(n_inputs=4, n_gates=12, n_outputs=3,
+                                 seed=seed)
+        order = data.draw(
+            st.permutations(range(len(netlist.gates))),
+            label="insertion order")
+        clone = _permuted_clone(netlist, order)
+        assert canonical_form(clone) == canonical_form(netlist)
+        assert netlist_hash(clone) == netlist_hash(netlist)
+
+    def test_output_order_is_semantic(self):
+        a = ripple_carry_adder(2)
+        b = _permuted_clone(a, range(len(a.gates)))
+        b.outputs = list(reversed(b.outputs))
+        assert netlist_hash(a) != netlist_hash(b)
+
+
+class TestArtifactStore:
+    def test_put_get(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("ab" * 32, {"x": 1})
+        assert store.get("ab" * 32) == {"x": 1}
+        assert store.get("cd" * 32) is None
+        assert len(store) == 1
+
+    def test_empty_store_is_truthy(self, tmp_path):
+        assert bool(ArtifactStore(tmp_path))
+
+    def test_sharded_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ab" * 32
+        store.put(digest, {"x": 1})
+        assert (tmp_path / digest[:2] / f"{digest[2:]}.json").exists()
+
+    def test_netlist_round_trip_content_addressed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        netlist = c17()
+        digest = store.put_netlist(netlist)
+        assert digest == netlist_hash(netlist)
+        # Re-putting the same content is a no-op, not a new artifact.
+        assert store.put_netlist(c17()) == digest
+        assert len(store) == 1
+        clone = store.get_netlist(digest)
+        assert list(clone.gates) == list(netlist.gates)
+        assert clone.outputs == netlist.outputs
+
+    def test_cross_process_key_stability(self, tmp_path):
+        # The same spec computed in another "process" (fresh objects)
+        # addresses the same artifact.
+        store = ArtifactStore(tmp_path)
+        key = result_key(netlist_hash(c17()), "p" * 8, seed=3)
+        store.put(key, {"result": 42})
+        assert result_key(netlist_hash(c17()), "p" * 8, seed=3) == key
+        assert ArtifactStore(tmp_path).get(key) == {"result": 42}
+
+    def test_torn_write_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ef" * 32
+        shard = tmp_path / digest[:2]
+        shard.mkdir()
+        (shard / f"{digest[2:]}.json").write_text('{"trunc')
+        assert store.get(digest) is None
+
+    def test_hit_miss_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("ab" * 32, {"x": 1})
+        store.get("ab" * 32)
+        store.get("cd" * 32)
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_concurrent_put_same_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "aa" * 32
+
+        def put():
+            for _ in range(20):
+                store.put(digest, {"x": 1})
+
+        threads = [threading.Thread(target=put) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get(digest) == {"x": 1}
+        assert len(store) == 1
