@@ -27,6 +27,7 @@ from .serialize import (
     netlist_hash,
     netlist_to_dict,
     stable_hash,
+    transport_hash,
 )
 from .generators import (
     c17,
@@ -68,6 +69,7 @@ __all__ = [
     "load", "loads", "dump", "dumps",
     "canonical_form", "canonical_json", "dumps_netlist", "loads_netlist",
     "netlist_from_dict", "netlist_hash", "netlist_to_dict", "stable_hash",
+    "transport_hash",
     "dump_verilog", "dumps_verilog", "load_verilog", "loads_verilog",
     "c17", "full_adder", "ripple_carry_adder", "array_multiplier",
     "equality_comparator", "parity_tree", "random_circuit",

@@ -112,6 +112,23 @@ def netlist_hash(netlist: Netlist) -> str:
     return stable_hash(canonical_form(netlist))
 
 
+def transport_hash(netlist: Netlist) -> str:
+    """SHA-256 digest of the order-preserving transport form.
+
+    The artifact-store address of a *stored* netlist.  Unlike
+    :func:`netlist_hash`, gate insertion order is part of the digest,
+    because the stored form preserves it and it is observable: seeded
+    site enumeration walks it, so two structurally identical netlists
+    built in different orders are different transport artifacts — a
+    job addressing one can never be computed (or cache-served) against
+    the other's ordering.  The netlist name is excluded, as in
+    :func:`netlist_hash`.
+    """
+    data = netlist_to_dict(netlist)
+    return stable_hash({"gates": data["gates"],
+                        "outputs": data["outputs"]})
+
+
 def dumps_netlist(netlist: Netlist) -> str:
     """JSON text of the transport form (stored in the artifact store)."""
     return json.dumps(netlist_to_dict(netlist), separators=(",", ":"))

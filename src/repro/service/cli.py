@@ -131,9 +131,15 @@ def _sweep_watched(netlist, widths, args, store, rundb, watcher):
 
 
 def cmd_compose(args) -> int:
-    stacks = ({label: DEFAULT_STACKS[label]
-               for label in args.stacks.split(",")}
-              if args.stacks else None)
+    stacks = None
+    if args.stacks:
+        labels = [s for s in args.stacks.split(",") if s != ""]
+        unknown = [s for s in labels if s not in DEFAULT_STACKS]
+        if unknown:
+            print(f"unknown stack(s) {unknown}; choose from "
+                  f"{sorted(DEFAULT_STACKS)}")
+            return 2
+        stacks = {label: DEFAULT_STACKS[label] for label in labels}
     matrix = composition_matrix_campaign(
         design=args.design, stacks=stacks,
         engine_params={"n_traces": args.traces,

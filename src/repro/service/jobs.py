@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional
 
 from ..netlist import canonical_json, stable_hash
 
@@ -90,7 +90,13 @@ class JobSpec:
     """
 
     job_type: str
-    params: Tuple[Tuple[str, object], ...] = ()
+    #: Canonical JSON encoding of the params mapping.  A string keeps
+    #: the spec hashable and makes round-tripping *unambiguous*: a
+    #: list of two-element lists stays a list and an empty dict stays
+    #: a dict, which no tuple-based freezing can guarantee.  Key order
+    #: is canonical, so two specs differing only in dict insertion
+    #: order are equal.
+    params_json: str = "{}"
     seed: int = 0
     timeout: Optional[float] = None
     retries: int = 0
@@ -104,13 +110,9 @@ class JobSpec:
                  retries: int = 0, retry_backoff: float = 0.05,
                  retry_on_timeout: bool = False,
                  cacheable: bool = True) -> None:
-        params_map = dict(params or {})
-        canonical_json(params_map)   # raises TypeError on non-JSON values
-        # Stored as sorted key/value tuples: immutable (the spec is
-        # frozen and usable as a dict key) and canonically ordered (two
-        # specs differing only in dict insertion order are equal).
-        object.__setattr__(self, "params", tuple(
-            (k, _freeze(params_map[k])) for k in sorted(params_map)))
+        # canonical_json raises TypeError on non-JSON values.
+        object.__setattr__(self, "params_json",
+                           canonical_json(dict(params or {})))
         object.__setattr__(self, "job_type", job_type)
         object.__setattr__(self, "seed", seed)
         object.__setattr__(self, "timeout", timeout)
@@ -121,8 +123,8 @@ class JobSpec:
 
     @property
     def params_dict(self) -> Dict[str, object]:
-        """Parameters back as a plain dict (thawed copy)."""
-        return {k: _thaw(v) for k, v in self.params}
+        """Parameters back as a plain dict (fresh parse, lossless)."""
+        return json.loads(self.params_json)
 
     @property
     def spec_hash(self) -> str:
@@ -139,25 +141,6 @@ class JobSpec:
 
     def describe(self) -> str:
         return f"{self.job_type}[{self.spec_hash[:10]}]"
-
-
-def _freeze(value):
-    """Recursively convert JSON values to hashable immutables."""
-    if isinstance(value, dict):
-        return tuple((k, _freeze(value[k])) for k in sorted(value))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    return value
-
-
-def _thaw(value):
-    """Inverse of :func:`_freeze` (dict-shaped tuples back to dicts)."""
-    if isinstance(value, tuple):
-        if value and all(isinstance(item, tuple) and len(item) == 2
-                         and isinstance(item[0], str) for item in value):
-            return {k: _thaw(v) for k, v in value}
-        return [_thaw(v) for v in value]
-    return value
 
 
 def run_job(spec: JobSpec, ctx: JobContext):
@@ -288,7 +271,7 @@ def _pytest_bench_job(params: Dict[str, object], ctx: JobContext):
 
 @register_job_type("pass-pipeline", sample_params={
     "netlist": "0" * 64,
-    "passes": [["synthesis-stage", {}]]})
+    "passes": [["synthesis", {}]]})
 def _pass_pipeline_job(params: Dict[str, object], ctx: JobContext):
     """Run a named pass pipeline over a stored netlist.
 

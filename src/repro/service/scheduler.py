@@ -146,6 +146,7 @@ class Scheduler:
         self.on_event = on_event
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []     # submission order
+        self._running: List[_Running] = []   # live worker processes
         self._ids = itertools.count(1)
         methods = multiprocessing.get_all_start_methods()
         self._mp = multiprocessing.get_context(
@@ -170,10 +171,26 @@ class Scheduler:
         return job_id
 
     def cancel(self, job_id: str) -> None:
-        """Withdraw a job; its dependents will be skipped."""
+        """Withdraw a job; its dependents will be skipped.
+
+        A job already running on a worker has its process terminated
+        and its slot freed — the worker never reports, so the
+        cancelled status is final (``_finish`` refuses double
+        transitions regardless).  In-process (``workers=0``) execution
+        cannot interrupt a job mid-run; there cancellation applies
+        only to jobs that have not started.
+        """
         job = self.jobs[job_id]
-        if not job.done:
-            self._finish(job, CANCELLED)
+        if job.done:
+            return
+        for entry in list(self._running):
+            if entry.job is job:
+                entry.process.terminate()
+                entry.process.join()
+                entry.conn.close()
+                self._running.remove(entry)
+                break
+        self._finish(job, CANCELLED)
 
     # -- state transitions ---------------------------------------------
 
@@ -184,6 +201,11 @@ class Scheduler:
     def _finish(self, job: Job, status: str, result=None,
                 error: str = "", wall_s: float = 0.0,
                 worker: str = "", cache_hit: bool = False) -> None:
+        if job.done:
+            # Terminal states are final: a worker reporting after its
+            # job was cancelled must not resurrect it (or append a
+            # second, contradictory run-database record).
+            return
         job.status = status
         job.result = result
         job.error = error
@@ -296,6 +318,15 @@ class Scheduler:
     def _reap(self, running: _Running) -> Optional[str]:
         """Poll one live worker; returns the job's new status or None."""
         job = running.job
+        if job.done:
+            # Reached a terminal state (cancellation) while the entry
+            # was still listed — e.g. cancel() fired from the RUNNING
+            # on_event before the worker process existed.  Reclaim the
+            # process and drop the entry; the status stands.
+            running.process.terminate()
+            running.process.join()
+            running.conn.close()
+            return job.status
         now = time.perf_counter()
         if running.conn.poll():
             try:
@@ -344,6 +375,8 @@ class Scheduler:
     def _attempt_failed(self, job: Job, error: str, wall: float,
                         worker: str, retryable: bool,
                         terminal_status: str = FAILED) -> str:
+        if job.done:
+            return job.status
         if retryable and job.attempts <= job.spec.retries:
             backoff = job.spec.retry_backoff * (
                 2 ** (job.attempts - 1))
@@ -374,21 +407,24 @@ class Scheduler:
                     progressed = True
 
     def _run_pool(self) -> None:
-        running: List[_Running] = []
+        self._running = []
         while True:
-            # Reap finished / timed-out / crashed workers.
+            # Reap finished / timed-out / crashed workers.  Iterate a
+            # snapshot: cancel() from an on_event callback may remove
+            # entries mid-loop (a removed entry reaps as terminal and
+            # is not kept).
             still: List[_Running] = []
-            for entry in running:
+            for entry in list(self._running):
                 outcome = self._reap(entry)
                 if outcome is None:
                     still.append(entry)
-            running = still
+            self._running = still
             self._skip_blocked()
             # Launch ready jobs into free slots (submission order; a
             # job in backoff yields its slot to later ready jobs).
             now = time.perf_counter()
             for job_id in self._order:
-                if len(running) >= self.workers:
+                if len(self._running) >= self.workers:
                     break
                 job = self.jobs[job_id]
                 if (job.done or job.status == RUNNING
@@ -397,8 +433,8 @@ class Scheduler:
                     continue
                 if self._serve_from_cache(job):
                     continue
-                running.append(self._launch(job))
-            if not running:
+                self._running.append(self._launch(job))
+            if not self._running:
                 pending = [j for j in self.jobs.values() if not j.done]
                 if not pending:
                     break

@@ -25,9 +25,9 @@ from typing import Dict, Iterator, Optional, Union
 from ..netlist import (
     Netlist,
     netlist_from_dict,
-    netlist_hash,
     netlist_to_dict,
     stable_hash,
+    transport_hash,
 )
 
 
@@ -101,14 +101,18 @@ class ArtifactStore:
     # -- netlists ------------------------------------------------------
 
     def put_netlist(self, netlist: Netlist) -> str:
-        """Persist a netlist; returns its structural digest.
+        """Persist a netlist; returns its transport digest.
 
-        Content-addressed: the digest is :func:`~repro.netlist.
-        netlist_hash`, so structurally identical netlists share one
-        artifact.  The stored payload keeps insertion order, so any
-        worker that loads it reproduces seeded transforms bit-exactly.
+        Content-addressed by :func:`~repro.netlist.transport_hash`,
+        which *includes* gate insertion order: the stored payload
+        preserves that order (seeded site enumeration walks it), so
+        the digest must too — otherwise two structurally identical
+        netlists built in different orders would share one artifact
+        and the second client's jobs would silently run against the
+        first writer's ordering.  Any worker that loads the artifact
+        reproduces seeded transforms bit-exactly.
         """
-        digest = netlist_hash(netlist)
+        digest = transport_hash(netlist)
         if digest not in self:
             self.put(digest, netlist_to_dict(netlist))
         return digest

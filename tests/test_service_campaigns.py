@@ -116,6 +116,43 @@ class TestCompositionCampaign:
         assert not matrix["duplication"]["flagged"]
 
 
+class TestPassPipelineJob:
+    def test_documented_sample_params_run(self, tmp_path):
+        # The registry sample is the job's documentation — it must
+        # actually execute (it once crashed on params round-trip and
+        # named an unregistered pass).
+        from repro.flow import FlowTrace
+        from repro.service import (JobContext, registered_job_types,
+                                   run_job)
+
+        store = ArtifactStore(tmp_path / "store")
+        digest = store.put_netlist(ripple_carry_adder(2))
+        sample = dict(
+            registered_job_types()["pass-pipeline"].sample_params)
+        sample["netlist"] = digest
+        spec = JobSpec("pass-pipeline", params=sample, seed=3)
+        result = run_job(spec, JobContext(seed=3, store=store))
+        assert result["result_netlist"] in store
+        trace = FlowTrace.from_dict(result["trace"])
+        assert [p.pass_name for p in trace.passes] == ["synthesis"]
+
+
+class TestCliValidation:
+    def test_compose_unknown_stack_exits_2(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["compose", "--stacks", "parity,typo"]) == 2
+        out = capsys.readouterr().out
+        assert "typo" in out
+        assert "parity" in out       # the valid choices are listed
+
+    def test_sweep_unknown_bench_exits_2(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["sweep", "--bench", "nope"]) == 2
+        assert "nope" in capsys.readouterr().out
+
+
 class TestRunDatabase:
     def test_records_expose_policy_outcomes(self, tmp_path):
         rundb = RunDatabase(tmp_path / "runs.jsonl")

@@ -15,6 +15,8 @@ from repro.service import (
     CANCELLED,
     FAILED,
     JobSpec,
+    RUNNING,
+    RunDatabase,
     Scheduler,
     SchedulerError,
     SKIPPED,
@@ -65,6 +67,37 @@ def _dep_sum_job(params, ctx):
     """Test job: sum the ``value`` field of all dependency results."""
     del params
     return {"total": sum(r["value"] for r in ctx.dep_results.values())}
+
+
+class TestJobSpecParams:
+    @pytest.mark.parametrize("params", [
+        {},
+        {"empty-dict": {}},
+        {"empty-list": []},
+        # A list of [str, value] pairs must stay a list — the shape of
+        # the pass-pipeline job's own documented params.
+        {"passes": [["synthesis-stage", {}]]},
+        {"a": [["k", 1], ["k2", 2]]},
+        {"nested": {"list": [1, [2, {"d": []}]], "n": None}},
+    ])
+    def test_params_dict_round_trips(self, params):
+        assert JobSpec("t-echo", params=params).params_dict == params
+
+    def test_list_of_pairs_is_not_a_dict(self):
+        # These name *different* computations; conflating them would
+        # let the content-addressed cache serve one for the other.
+        pairs = JobSpec("t-echo", params={"a": [["k", 1]]})
+        mapping = JobSpec("t-echo", params={"a": {"k": 1}})
+        assert pairs != mapping
+        assert pairs.spec_hash != mapping.spec_hash
+        assert pairs.params_dict == {"a": [["k", 1]]}
+        assert mapping.params_dict == {"a": {"k": 1}}
+
+    def test_key_order_canonical(self):
+        a = JobSpec("t-echo", params={"x": 1, "y": 2})
+        b = JobSpec("t-echo", params={"y": 2, "x": 1})
+        assert a == b
+        assert a.spec_hash == b.spec_hash
 
 
 class TestDagExecution:
@@ -196,6 +229,44 @@ class TestCancellation:
         jobs = s.run()
         assert jobs[a].status == CANCELLED
         assert jobs[b].status == SKIPPED
+
+    def test_cancel_terminates_live_worker(self):
+        # Cancelling a job whose worker is already running must kill
+        # the worker: the 30 s sleep cannot hold up the run, and the
+        # worker must not later report and flip the job to SUCCEEDED.
+        s = Scheduler(workers=2)
+        slow = s.submit(JobSpec("t-sleep", params={"seconds": 30.0}))
+        fast = s.submit(JobSpec("t-echo", params={"value": 1}))
+
+        def on_event(job):
+            if job.job_id == fast and job.status == SUCCEEDED:
+                s.cancel(slow)
+
+        s.on_event = on_event
+        started = time.perf_counter()
+        jobs = s.run()
+        assert jobs[slow].status == CANCELLED
+        assert jobs[fast].status == SUCCEEDED
+        assert time.perf_counter() - started < 10.0
+
+    def test_cancel_at_running_event_records_once(self, tmp_path):
+        # cancel() fired from the RUNNING transition itself (the watch
+        # callback) races worker startup; the job must still end up
+        # CANCELLED with exactly one terminal run-database record.
+        db = RunDatabase(tmp_path / "runs.jsonl")
+        s = Scheduler(workers=2, rundb=db)
+
+        def on_event(job):
+            if job.status == RUNNING:
+                s.cancel(job.job_id)
+
+        s.on_event = on_event
+        jid = s.submit(JobSpec("t-sleep", params={"seconds": 30.0}))
+        started = time.perf_counter()
+        jobs = s.run()
+        assert jobs[jid].status == CANCELLED
+        assert time.perf_counter() - started < 10.0
+        assert [r.status for r in db.records()] == [CANCELLED]
 
     def test_counts_summarise_terminal_states(self):
         s = Scheduler(workers=0)

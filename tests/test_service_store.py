@@ -19,6 +19,7 @@ from repro.netlist import (
     ripple_carry_adder,
     stable_hash,
     simulate,
+    transport_hash,
 )
 from repro.service import ArtifactStore, result_key
 
@@ -105,6 +106,25 @@ class TestCanonicalHash:
         assert netlist_hash(a) != netlist_hash(b)
 
 
+class TestTransportHash:
+    def test_name_excluded(self):
+        a, b = c17(), c17()
+        b.name = "other"
+        assert transport_hash(a) == transport_hash(b)
+
+    def test_same_order_same_digest(self):
+        assert transport_hash(c17()) == transport_hash(c17())
+
+    def test_insertion_order_included(self):
+        # Gate order is observable downstream (seeded site
+        # enumeration), so — unlike netlist_hash — the transport
+        # digest must distinguish orderings.
+        a = ripple_carry_adder(4)
+        b = _permuted_clone(a, list(reversed(range(len(a.gates)))))
+        assert netlist_hash(a) == netlist_hash(b)
+        assert transport_hash(a) != transport_hash(b)
+
+
 class TestArtifactStore:
     def test_put_get(self, tmp_path):
         store = ArtifactStore(tmp_path)
@@ -126,13 +146,28 @@ class TestArtifactStore:
         store = ArtifactStore(tmp_path)
         netlist = c17()
         digest = store.put_netlist(netlist)
-        assert digest == netlist_hash(netlist)
+        assert digest == transport_hash(netlist)
         # Re-putting the same content is a no-op, not a new artifact.
         assert store.put_netlist(c17()) == digest
         assert len(store) == 1
         clone = store.get_netlist(digest)
         assert list(clone.gates) == list(netlist.gates)
         assert clone.outputs == netlist.outputs
+
+    def test_distinct_orderings_are_distinct_artifacts(self, tmp_path):
+        # Two structurally identical netlists built in different gate
+        # orders must not share a store slot: each client's jobs must
+        # load back *its own* ordering, or seeded site enumeration in
+        # the worker diverges from that client's serial run.
+        store = ArtifactStore(tmp_path)
+        a = ripple_carry_adder(4)
+        b = _permuted_clone(a, list(reversed(range(len(a.gates)))))
+        digest_a = store.put_netlist(a)
+        digest_b = store.put_netlist(b)
+        assert digest_a != digest_b
+        assert len(store) == 2
+        assert list(store.get_netlist(digest_a).gates) == list(a.gates)
+        assert list(store.get_netlist(digest_b).gates) == list(b.gates)
 
     def test_cross_process_key_stability(self, tmp_path):
         # The same spec computed in another "process" (fresh objects)
