@@ -11,7 +11,16 @@ Walks every registered :class:`repro.flow.Pass` and fails on:
   as invalidated, but a pass relying on that default is a pass nobody
   has thought about — exactly what this check exists to catch),
 * a registry-key / class-attribute name mismatch,
-* a pass class without a docstring (the declaration's rationale).
+* a pass class without a docstring (the declaration's rationale),
+* a physical-synthesis pass that claims to leave all three layout
+  properties (probing / FIA / Trojan) untouched — physical passes move
+  geometry, so each must establish or invalidate at least one,
+* a pass establishing a layout property from outside the
+  physical-synthesis stage (layout metrics are measured on routed
+  geometry, which only physical passes produce or edit),
+* a closure ECO (``is_closure_eco = True``) that breaks the ECO
+  contract: netlist untouched (functional equivalence *preserved*),
+  at least one layout property established, physical-synthesis stage.
 
 Run directly (exit 1 on problems) or import :func:`audit` from a test.
 
@@ -33,7 +42,11 @@ def audit() -> List[str]:
     """Return one problem string per registry violation (empty = clean)."""
     from repro.core.stages import DesignStage
     from repro.flow import Effects, registered_passes
+    from repro.flow.properties import SecurityProperty
 
+    layout_props = frozenset((SecurityProperty.PROBING_EXPOSURE,
+                              SecurityProperty.FIA_EXPOSURE,
+                              SecurityProperty.TROJAN_INSERTABILITY))
     problems: List[str] = []
     for name, cls in sorted(registered_passes().items()):
         where = f"{cls.__module__}.{cls.__qualname__}"
@@ -55,9 +68,47 @@ def audit() -> List[str]:
                 problems.append(
                     f"{name}: undeclared effect on {props} — declare "
                     f"preserves/establishes/invalidates explicitly")
+            problems.extend(_layout_problems(name, cls, layout_props,
+                                             SecurityProperty))
         if not (cls.__doc__ or "").strip():
             problems.append(f"{name}: pass class {where} has no "
                             "docstring explaining its declaration")
+    return problems
+
+
+def _layout_problems(name, cls, layout_props, SecurityProperty):
+    """Layout-property and closure-ECO contract checks for one pass."""
+    from repro.core.stages import DesignStage
+
+    problems: List[str] = []
+    physical = cls.stage is DesignStage.PHYSICAL_SYNTHESIS
+    established = cls.effects.establishes & layout_props
+    touched = established | (cls.effects.invalidates & layout_props)
+    if physical and not touched:
+        problems.append(
+            f"{name}: physical-synthesis pass declares no effect on any "
+            f"layout property — geometry changes must establish or "
+            f"invalidate probing/FIA/Trojan exposure")
+    if established and not physical:
+        props = ", ".join(sorted(p.value for p in established))
+        problems.append(
+            f"{name}: establishes layout property {props} outside the "
+            f"physical-synthesis stage — layout metrics exist only on "
+            f"routed geometry")
+    if getattr(cls, "is_closure_eco", False):
+        fe = SecurityProperty.FUNCTIONAL_EQUIVALENCE
+        if fe not in cls.effects.preserves:
+            problems.append(
+                f"{name}: closure ECO must preserve functional "
+                f"equivalence (ECOs edit geometry, never the netlist)")
+        if not established:
+            problems.append(
+                f"{name}: closure ECO establishes no layout property — "
+                f"an ECO that closes nothing is not a closure ECO")
+        if not physical:
+            problems.append(
+                f"{name}: closure ECO must belong to the "
+                f"physical-synthesis stage")
     return problems
 
 

@@ -21,8 +21,12 @@ from .properties import (
     masking_check,
     masking_checker,
     no_flow_check,
+    fia_exposure_checker,
+    layout_checkers,
+    probing_exposure_checker,
     scan_leakage_check,
     scan_leakage_checker,
+    trojan_insertability_checker,
     tvla_check,
     tvla_checker,
 )
@@ -48,6 +52,13 @@ from .manager import (
     to_flow_report,
 )
 from . import library as library  # noqa: F401  (populates the registry)
+from . import layout_library as layout_library  # noqa: F401  (registry)
+from .layout_library import (
+    BuryCriticalNetsPass,
+    EcoFillerPass,
+    RoutingPass,
+    ShieldInsertionPass,
+)
 from .library import (
     AtpgPass,
     AtpgSkipPass,
@@ -85,6 +96,8 @@ __all__ = [
     "make_equivalence_check", "masking_check", "masking_checker",
     "no_flow_check", "scan_leakage_check", "scan_leakage_checker",
     "tvla_check", "tvla_checker",
+    "fia_exposure_checker", "layout_checkers",
+    "probing_exposure_checker", "trojan_insertability_checker",
     "AnalysisCache",
     "Effects", "Pass", "PassResult", "conservative", "create_pass",
     "effects", "preserves_all", "register_pass", "registered_passes",
@@ -97,6 +110,8 @@ __all__ = [
     "ScanInsertionPass", "SecureSynthesisPass", "SfllLockPass",
     "StaSignoffPass", "StructuralHashingPass", "SynthesisStagePass",
     "WddlPass",
+    "BuryCriticalNetsPass", "EcoFillerPass", "RoutingPass",
+    "ShieldInsertionPass",
     "ConservativeTransformPass", "SecurePlacementPass",
     "classical_pipeline", "netlist_design", "secure_masking_pipeline",
     "secure_pipeline",

@@ -53,6 +53,12 @@ from .passes import (
 )
 from .properties import SecurityProperty as P
 
+#: The routed-layout properties (physical-design Table II row).  Any
+#: pass that changes the netlist or placement makes existing routed
+#: geometry stale, so netlist-mutating passes below invalidate all
+#: three; pure analyses preserve them.
+_LAYOUT = (P.PROBING_EXPOSURE, P.FIA_EXPOSURE, P.TROJAN_INSERTABILITY)
+
 
 # ----------------------------------------------------------------------
 # Logic-synthesis rewrites (wrapping repro.synth.passes)
@@ -83,7 +89,7 @@ class ConstantPropagationPass(_SynthRewritePass):
     effects = effects(
         preserves=[P.FUNCTIONAL_EQUIVALENCE, P.NO_FLOW, P.SCAN_LEAKAGE,
                    P.FAULT_DETECTION],
-        invalidates=[P.MASKING, P.TVLA_BOUND])
+        invalidates=[P.MASKING, P.TVLA_BOUND, *_LAYOUT])
 
 
 @register_pass
@@ -95,7 +101,8 @@ class StructuralHashingPass(_SynthRewritePass):
     rewrite_cls = StructuralHashing
     effects = effects(
         preserves=[P.FUNCTIONAL_EQUIVALENCE, P.NO_FLOW, P.SCAN_LEAKAGE],
-        invalidates=[P.MASKING, P.TVLA_BOUND, P.FAULT_DETECTION])
+        invalidates=[P.MASKING, P.TVLA_BOUND, P.FAULT_DETECTION,
+                     *_LAYOUT])
 
 
 @register_pass
@@ -104,7 +111,7 @@ class DoubleInversionPass(_SynthRewritePass):
 
     name = "inv2"
     rewrite_cls = DoubleInversionElimination
-    effects = preserves_all()
+    effects = preserves_all(invalidates=_LAYOUT)
 
 
 @register_pass
@@ -113,7 +120,7 @@ class BufferSweepPass(_SynthRewritePass):
 
     name = "bufsweep"
     rewrite_cls = BufferSweep
-    effects = preserves_all()
+    effects = preserves_all(invalidates=_LAYOUT)
 
 
 @register_pass
@@ -122,7 +129,7 @@ class DeadGateSweepPass(_SynthRewritePass):
 
     name = "sweep"
     rewrite_cls = DeadGateSweep
-    effects = preserves_all()
+    effects = preserves_all(invalidates=_LAYOUT)
 
 
 @register_pass
@@ -136,7 +143,8 @@ class SynthesisStagePass(Pass):
     stage = DesignStage.LOGIC_SYNTHESIS
     effects = effects(
         preserves=[P.FUNCTIONAL_EQUIVALENCE, P.NO_FLOW, P.SCAN_LEAKAGE],
-        invalidates=[P.MASKING, P.TVLA_BOUND, P.FAULT_DETECTION])
+        invalidates=[P.MASKING, P.TVLA_BOUND, P.FAULT_DETECTION,
+                     *_LAYOUT])
 
     def __init__(self, iterations: int = 2, map_library=True) -> None:
         self.iterations = iterations
@@ -171,7 +179,7 @@ class ReassociationPass(Pass):
     effects = effects(
         preserves=[P.FUNCTIONAL_EQUIVALENCE, P.NO_FLOW, P.SCAN_LEAKAGE,
                    P.FAULT_DETECTION],
-        invalidates=[P.MASKING, P.TVLA_BOUND])
+        invalidates=[P.MASKING, P.TVLA_BOUND, *_LAYOUT])
 
     def __init__(self, rng_prefix: str = "r", rng_arrival: float = 1e5
                  ) -> None:
@@ -223,7 +231,7 @@ class MaskInsertionPass(Pass):
         preserves=[P.SCAN_LEAKAGE],
         establishes=[P.MASKING, P.TVLA_BOUND],
         invalidates=[P.FUNCTIONAL_EQUIVALENCE, P.NO_FLOW,
-                     P.FAULT_DETECTION])
+                     P.FAULT_DETECTION, *_LAYOUT])
 
     def apply(self, netlist, ctx) -> PassResult:
         masked = mask_netlist(netlist)
@@ -261,7 +269,7 @@ class WddlPass(Pass):
         preserves=[P.MASKING, P.SCAN_LEAKAGE],
         establishes=[P.TVLA_BOUND],
         invalidates=[P.FUNCTIONAL_EQUIVALENCE, P.NO_FLOW,
-                     P.FAULT_DETECTION])
+                     P.FAULT_DETECTION, *_LAYOUT])
 
     def apply(self, netlist, ctx) -> PassResult:
         dual, rails = wddl_transform(netlist)
@@ -305,7 +313,7 @@ class ScanInsertionPass(Pass):
     effects = effects(
         preserves=[P.FUNCTIONAL_EQUIVALENCE, P.FAULT_DETECTION],
         invalidates=[P.MASKING, P.TVLA_BOUND, P.NO_FLOW,
-                     P.SCAN_LEAKAGE])
+                     P.SCAN_LEAKAGE, *_LAYOUT])
 
     def apply(self, netlist, ctx) -> PassResult:
         scan = insert_scan(netlist)
@@ -392,7 +400,7 @@ class LogicLockingPass(Pass):
     effects = effects(
         preserves=[P.SCAN_LEAKAGE],
         invalidates=[P.FUNCTIONAL_EQUIVALENCE, P.MASKING, P.TVLA_BOUND,
-                     P.NO_FLOW, P.FAULT_DETECTION])
+                     P.NO_FLOW, P.FAULT_DETECTION, *_LAYOUT])
 
     def __init__(self, key_bits: int = 8) -> None:
         self.key_bits = key_bits
@@ -430,7 +438,7 @@ class SfllLockPass(Pass):
     effects = effects(
         preserves=[P.SCAN_LEAKAGE],
         invalidates=[P.FUNCTIONAL_EQUIVALENCE, P.MASKING, P.TVLA_BOUND,
-                     P.NO_FLOW, P.FAULT_DETECTION])
+                     P.NO_FLOW, P.FAULT_DETECTION, *_LAYOUT])
 
     def __init__(self, output: Optional[str] = None, h: int = 0,
                  n_protect_bits: Optional[int] = None) -> None:
@@ -473,7 +481,7 @@ class CamouflagePass(Pass):
 
     name = "camouflage"
     stage = DesignStage.PHYSICAL_SYNTHESIS
-    effects = preserves_all()
+    effects = preserves_all(invalidates=_LAYOUT)
 
     def __init__(self, n_cells: int = 4) -> None:
         self.n_cells = n_cells
@@ -504,7 +512,7 @@ class PlacementPass(Pass):
 
     name = "placement"
     stage = DesignStage.PHYSICAL_SYNTHESIS
-    effects = preserves_all()
+    effects = preserves_all(invalidates=_LAYOUT)
 
     def __init__(self, iterations: int = 3000) -> None:
         self.iterations = iterations

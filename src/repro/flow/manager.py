@@ -60,6 +60,7 @@ class FlowContext:
         self.cache = cache if cache is not None else AnalysisCache()
         self.seed = seed
         self.placement = None
+        self.routing = None          # RoutedLayout, set by the route pass
         self.notes: Dict[str, object] = {}
 
 

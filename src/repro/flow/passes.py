@@ -146,6 +146,12 @@ class Pass:
     name: str = ""
     stage: Optional[DesignStage] = None
     effects: Optional[Effects] = None
+    #: Closure ECO passes edit routed geometry only (shields, fillers,
+    #: re-routing) — never the netlist.  The static audit holds them to
+    #: that contract: they must declare functional equivalence
+    #: preserved, establish at least one layout property, and sit in
+    #: the physical-synthesis stage.
+    is_closure_eco: bool = False
 
     def apply(self, netlist: "Netlist", ctx: "FlowContext") -> PassResult:
         raise NotImplementedError

@@ -48,6 +48,12 @@ class SecurityProperty(enum.Enum):
     FAULT_DETECTION = "fault-detection"
     SCAN_LEAKAGE = "scan-leakage"
     FUNCTIONAL_EQUIVALENCE = "functional-equivalence"
+    #: Layout properties (physical-design stage; measured on a routed
+    #: layout — ``ctx.routing`` — rather than on the netlist).  Each
+    #: "holds" when its attack-surface metric is under threshold.
+    PROBING_EXPOSURE = "probing-exposure"
+    FIA_EXPOSURE = "fia-exposure"
+    TROJAN_INSERTABILITY = "trojan-insertability"
 
 
 #: All tracked properties, in declaration order.
@@ -284,6 +290,105 @@ def scan_leakage_checker() -> Callable:
     def check(ctx) -> PropertyCheck:
         return scan_leakage_check(ctx.design, cache=ctx.cache)
     return check
+
+
+def _routing_of(ctx) -> Optional[object]:
+    """The routed layout of a flow context (``None`` when not routed)."""
+    return getattr(ctx, "routing", None)
+
+
+def probing_exposure_checker(threshold: float = 0.05,
+                             probe_layers: int = 2) -> Callable:
+    """Manager checker for :data:`SecurityProperty.PROBING_EXPOSURE`.
+
+    Reads the routed layout from ``ctx.routing`` and the critical-net
+    list from ``ctx.notes['critical-nets']`` (published by the route /
+    closure pipeline).
+    """
+    def check(ctx) -> PropertyCheck:
+        from ..physical.attack_surface import probing_exposure
+
+        layout = _routing_of(ctx)
+        if layout is None:
+            return PropertyCheck(
+                SecurityProperty.PROBING_EXPOSURE, False, 1.0,
+                "no routed layout (run the 'route' pass first)")
+        report = probing_exposure(layout,
+                                  ctx.notes.get("critical-nets", []),
+                                  probe_layers=probe_layers)
+        return PropertyCheck(
+            SecurityProperty.PROBING_EXPOSURE,
+            report.exposure <= threshold, report.exposure,
+            f"{report.summary()} (threshold {threshold})")
+    return check
+
+
+def fia_exposure_checker(threshold: float = 0.30,
+                         spot_radius: int = 2) -> Callable:
+    """Manager checker for :data:`SecurityProperty.FIA_EXPOSURE`."""
+    def check(ctx) -> PropertyCheck:
+        from ..physical.attack_surface import fia_exposure
+
+        layout = _routing_of(ctx)
+        if layout is None:
+            return PropertyCheck(
+                SecurityProperty.FIA_EXPOSURE, False, 1.0,
+                "no routed layout (run the 'route' pass first)")
+        report = fia_exposure(layout, ctx.notes.get("critical-nets", []),
+                              spot_radius=spot_radius)
+        return PropertyCheck(
+            SecurityProperty.FIA_EXPOSURE,
+            report.exposure <= threshold, report.exposure,
+            f"{report.summary()} (threshold {threshold})")
+    return check
+
+
+def trojan_insertability_checker(threshold: float = 0.05,
+                                 min_trojan_sites: int = 4,
+                                 min_free_capacity: float = 0.2
+                                 ) -> Callable:
+    """Manager checker for :data:`SecurityProperty.TROJAN_INSERTABILITY`.
+
+    Needs ``ctx.placement`` in addition to ``ctx.routing`` — occupied
+    standard-cell sites bound the free regions a Trojan could claim.
+    """
+    def check(ctx) -> PropertyCheck:
+        from ..physical.attack_surface import trojan_insertability
+
+        layout = _routing_of(ctx)
+        if layout is None or ctx.placement is None:
+            return PropertyCheck(
+                SecurityProperty.TROJAN_INSERTABILITY, False, 1.0,
+                "no routed layout/placement (run placement + route)")
+        report = trojan_insertability(
+            layout, ctx.placement.positions.values(),
+            min_sites=min_trojan_sites,
+            min_free_capacity=min_free_capacity)
+        return PropertyCheck(
+            SecurityProperty.TROJAN_INSERTABILITY,
+            report.exposure <= threshold, report.exposure,
+            f"{report.summary()} (threshold {threshold})")
+    return check
+
+
+def layout_checkers(probing_threshold: float = 0.05,
+                    fia_threshold: float = 0.30,
+                    trojan_threshold: float = 0.05,
+                    probe_layers: int = 2, spot_radius: int = 2,
+                    min_trojan_sites: int = 4,
+                    min_free_capacity: float = 0.2
+                    ) -> Dict[SecurityProperty, Callable]:
+    """The stock checker set for the three layout properties."""
+    return {
+        SecurityProperty.PROBING_EXPOSURE:
+            probing_exposure_checker(probing_threshold, probe_layers),
+        SecurityProperty.FIA_EXPOSURE:
+            fia_exposure_checker(fia_threshold, spot_radius),
+        SecurityProperty.TROJAN_INSERTABILITY:
+            trojan_insertability_checker(trojan_threshold,
+                                         min_trojan_sites,
+                                         min_free_capacity),
+    }
 
 
 def default_checkers(n_traces: int = 3000,

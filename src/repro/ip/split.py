@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist import Netlist
 from ..physical import Placement, Wire, assign_layers, split_wires
+from ..physical.routing import RoutedLayout
 
 Point = Tuple[float, float]
 
@@ -72,15 +73,24 @@ def build_feol_view(netlist: Netlist, placement: Placement,
                     lifted: Optional[Set[str]] = None,
                     route_fraction: float = DEFAULT_ROUTE_FRACTION,
                     via_jitter: float = 0.4,
-                    seed: int = 0) -> FeolView:
+                    seed: int = 0,
+                    routing: Optional["RoutedLayout"] = None) -> FeolView:
     """Partition the routed design at ``split_layer``.
 
     ``lifted`` nets are routed straight up at their pins (wire-lifting
     defense): they are always hidden and expose no stub direction.
+
+    Without ``routing`` the dangling-via positions come from the
+    stub-fraction heuristic (plus jitter).  With a
+    :class:`~repro.physical.routing.RoutedLayout` they are the *exact*
+    points where each routed branch crosses the split layer — no
+    jitter, no randomness — which is what the foundry actually sees.
     """
     lifted = lifted or set()
     rng = random.Random(seed)
-    wires = assign_layers(netlist, placement, lifted=lifted)
+    scale = max(1, routing.scale) if routing is not None else 1
+    wires = assign_layers(netlist, placement, lifted=lifted,
+                          routing=routing)
     visible, hidden = split_wires(wires, split_layer)
     view = FeolView(
         netlist=netlist,
@@ -94,9 +104,20 @@ def build_feol_view(netlist: Netlist, placement: Placement,
         sink_gate = netlist.gates[w.sink]
         driver_pos = placement.positions[w.driver]
         sink_pos = placement.positions[w.sink]
-        fraction = 0.0 if w.driver in lifted else route_fraction
-        d_via, s_via = _via_points(driver_pos, sink_pos, fraction,
-                                   rng, via_jitter)
+        crossing = None
+        if routing is not None and w.driver not in lifted:
+            routed = routing.nets.get(w.driver)
+            if routed is not None:
+                pin = (sink_pos[0] * scale, sink_pos[1] * scale)
+                crossing = routed.branch_split_vias(pin, split_layer)
+        if crossing is not None:
+            (dvx, dvy), (svx, svy) = crossing
+            d_via = (dvx / scale, dvy / scale)
+            s_via = (svx / scale, svy / scale)
+        else:
+            fraction = 0.0 if w.driver in lifted else route_fraction
+            d_via, s_via = _via_points(driver_pos, sink_pos, fraction,
+                                       rng, via_jitter)
         for position, fi in enumerate(sink_gate.fanins):
             if fi != w.driver:
                 continue

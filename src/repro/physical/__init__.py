@@ -1,4 +1,4 @@
-"""Physical synthesis: placement, wire-aware timing, layer assignment."""
+"""Physical synthesis: placement, timing, routing, security closure."""
 
 from .placement import (
     Placement,
@@ -25,6 +25,34 @@ from .layers import (
     layer_histogram,
     split_wires,
 )
+from .routing import (
+    DEFAULT_NUM_LAYERS,
+    RoutedLayout,
+    RoutedNet,
+    maze_route,
+    reroute_nets,
+    routing_nets,
+)
+from .attack_surface import (
+    FiaReport,
+    ProbingReport,
+    TrojanReport,
+    fia_exposure,
+    probing_exposure,
+    trojan_insertability,
+    uncovered_critical_nodes,
+)
+from .closure import (
+    ClosureMetrics,
+    ClosureResult,
+    ClosureThresholds,
+    bury_critical_nets,
+    default_critical_nets,
+    insert_fillers,
+    insert_shields,
+    measure_attack_surface,
+    security_closure,
+)
 
 __all__ = [
     "Placement", "PlacementResult", "annealing_placement", "hpwl",
@@ -34,4 +62,12 @@ __all__ = [
     "power_density_map", "wire_delay",
     "DEFAULT_THRESHOLDS", "Wire", "assign_layers", "layer_histogram",
     "split_wires",
+    "DEFAULT_NUM_LAYERS", "RoutedLayout", "RoutedNet", "maze_route",
+    "reroute_nets", "routing_nets",
+    "FiaReport", "ProbingReport", "TrojanReport", "fia_exposure",
+    "probing_exposure", "trojan_insertability",
+    "uncovered_critical_nodes",
+    "ClosureMetrics", "ClosureResult", "ClosureThresholds",
+    "bury_critical_nets", "default_critical_nets", "insert_fillers",
+    "insert_shields", "measure_attack_surface", "security_closure",
 ]

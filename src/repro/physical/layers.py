@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..netlist import Netlist
 from .placement import Placement
+from .routing import RoutedLayout
 
 #: Wire-length thresholds (in grid units) for metal layers M1..M6:
 #: a wire longer than THRESHOLDS[i] is routed above layer i+1.
@@ -34,15 +35,23 @@ class Wire:
 
 def assign_layers(netlist: Netlist, placement: Placement,
                   thresholds: Iterable[float] = DEFAULT_THRESHOLDS,
-                  lifted: Optional[Set[str]] = None) -> List[Wire]:
+                  lifted: Optional[Set[str]] = None,
+                  routing: Optional[RoutedLayout] = None) -> List[Wire]:
     """Assign each driver->sink connection a metal layer.
 
     ``lifted`` names driver nets whose wires are forced to the topmost
     layer regardless of length (the wire-lifting defense).
+
+    Without ``routing`` the layer comes from the length-based
+    heuristic.  With a :class:`~repro.physical.routing.RoutedLayout`,
+    each wire reports its *actual* routed branch — lateral length in
+    placement units and topmost layer touched — falling back to the
+    heuristic for connections the router did not complete.
     """
     thresholds = list(thresholds)
     top_layer = len(thresholds) + 1
     lifted = lifted or set()
+    scale = max(1, routing.scale) if routing is not None else 1
     wires: List[Wire] = []
     fanout = netlist.fanout_map()
     for driver, consumers in fanout.items():
@@ -51,9 +60,19 @@ def assign_layers(netlist: Netlist, placement: Placement,
                     or sink not in placement.positions):
                 continue
             length = placement.distance(driver, sink)
+            layer = 0
+            if routing is not None:
+                routed = routing.nets.get(driver)
+                if routed is not None:
+                    sx, sy = placement.positions[sink]
+                    pin = (sx * scale, sy * scale)
+                    if pin in routed.branches:
+                        length = routed.branch_length(pin) / scale
+                        layer = min(routed.branch_max_layer(pin),
+                                    top_layer)
             if driver in lifted:
                 layer = top_layer
-            else:
+            elif layer == 0:
                 layer = top_layer
                 for i, limit in enumerate(thresholds, start=1):
                     if length <= limit:

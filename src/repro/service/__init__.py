@@ -16,8 +16,8 @@ into a job-serving layer:
 * :mod:`~repro.service.rundb` — append-only JSONL log of every job
   outcome with a query API;
 * :mod:`~repro.service.campaigns` — existing workloads (locking
-  sweep, composition matrix) routed through the service with serial
-  result parity;
+  sweep, composition matrix, security closure) routed through the
+  service with serial result parity;
 * ``python -m repro.service`` — submit, watch, and inspect runs.
 """
 
@@ -49,6 +49,7 @@ from .campaigns import (
     CampaignError,
     composition_matrix_campaign,
     locking_sweep_campaign,
+    security_closure_campaign,
 )
 
 __all__ = [
@@ -61,4 +62,5 @@ __all__ = [
     "CANCELLED", "SKIPPED",
     "DEFAULT_STACKS", "CampaignError",
     "composition_matrix_campaign", "locking_sweep_campaign",
+    "security_closure_campaign",
 ]

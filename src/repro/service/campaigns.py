@@ -102,6 +102,47 @@ def locking_sweep_campaign(netlist: Netlist,
     return points
 
 
+def security_closure_campaign(netlists: Sequence[Netlist],
+                              thresholds: Optional[Dict[str, float]] = None,
+                              num_layers: Optional[int] = None,
+                              max_iterations: int = 4,
+                              placement_iterations: int = 2000,
+                              seed: int = 0,
+                              workers: int = 0,
+                              store: Optional[ArtifactStore] = None,
+                              rundb: Optional[RunDatabase] = None,
+                              timeout: Optional[float] = None,
+                              retries: int = 1
+                              ) -> Dict[str, Dict[str, object]]:
+    """Security-close a batch of designs: one ``closure`` job each.
+
+    Each design runs the full place -> route -> analyse -> ECO loop of
+    :func:`repro.physical.closure.security_closure` independently, so
+    a design-suite closure parallelizes embarrassingly.  Returns
+    design name -> closure result dict (wall times already stripped by
+    the job, so the mapping is bit-identical across worker counts).
+    """
+    thresholds = dict(thresholds
+                      or {"probing": 0.05, "fia": 0.30, "trojan": 0.05})
+    store = _campaign_store(store)
+    scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+    job_ids = {}
+    for netlist in netlists:
+        spec = JobSpec(
+            "closure",
+            params={"netlist": store.put_netlist(netlist),
+                    "thresholds": thresholds,
+                    "num_layers": num_layers,
+                    "max_iterations": int(max_iterations),
+                    "placement_iterations": int(placement_iterations)},
+            seed=seed, timeout=timeout, retries=retries)
+        job_ids[netlist.name] = scheduler.submit(spec)
+    jobs = scheduler.run()
+    _raise_on_failures(jobs, "security closure")
+    return {name: jobs[job_id].result
+            for name, job_id in job_ids.items()}
+
+
 #: The cross-effect matrix evaluated by the composition benchmarks.
 DEFAULT_STACKS: Dict[str, List[str]] = {
     "duplication": ["duplication"],

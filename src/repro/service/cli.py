@@ -4,6 +4,7 @@ Subcommands::
 
     sweep    submit a locking-sweep campaign and print the points
     compose  submit a composition cross-effect campaign
+    closure  security-close benchmark designs and print the metrics
     jobs     query the run database (filter by run / type / status)
     runs     list run ids with per-run summaries
     summary  aggregate run-database statistics
@@ -27,6 +28,7 @@ from .campaigns import (
     DEFAULT_STACKS,
     composition_matrix_campaign,
     locking_sweep_campaign,
+    security_closure_campaign,
 )
 from .rundb import RunDatabase, render_records
 from .store import ArtifactStore
@@ -163,6 +165,40 @@ def cmd_compose(args) -> int:
     return 0
 
 
+def cmd_closure(args) -> int:
+    labels = [b for b in args.benches.split(",") if b != ""]
+    unknown = [b for b in labels if b not in BENCH_CIRCUITS]
+    if unknown:
+        print(f"unknown bench(es) {unknown}; choose from "
+              f"{sorted(BENCH_CIRCUITS)}")
+        return 2
+    results = security_closure_campaign(
+        [BENCH_CIRCUITS[label]() for label in labels],
+        thresholds={"probing": args.probing, "fia": args.fia,
+                    "trojan": args.trojan},
+        num_layers=args.layers, max_iterations=args.max_iterations,
+        seed=args.seed, workers=args.workers,
+        store=_open_store(args), rundb=_open_db(args),
+        timeout=args.timeout)
+    print(f"\n=== security closure (seed {args.seed}, "
+          f"workers {args.workers}) ===")
+    print(f"{'design':<16} {'closed':>6} {'iters':>5} "
+          f"{'probing':>15} {'FIA':>15} {'trojan':>15} "
+          f"{'CEC':>5} {'area x':>7}")
+    for name, row in results.items():
+        def arrow(metric):
+            return (f"{row['initial_metrics'][metric]:.3f}"
+                    f"->{row['metrics'][metric]:.3f}")
+        print(f"{name:<16} {str(row['converged']):>6} "
+              f"{row['iterations']:>5} {arrow('probing'):>15} "
+              f"{arrow('fia'):>15} {arrow('trojan'):>15} "
+              f"{str(row['equivalent']):>5} "
+              f"{1.0 + row['area_overhead']:>7.2f}")
+        for net in row["failed_nets"]:
+            print(f"  !! unrouted net {net}")
+    return 0
+
+
 def cmd_jobs(args) -> int:
     if not args.db:
         print("jobs requires --db")
@@ -252,6 +288,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise", type=float, default=0.25)
     common(p, campaign=True)
     p.set_defaults(fn=cmd_compose)
+
+    p = sub.add_parser("closure", help="security-closure campaign")
+    p.add_argument("--benches", default="c17,rca8",
+                   help=f"comma-separated from {sorted(BENCH_CIRCUITS)}")
+    p.add_argument("--probing", type=float, default=0.05,
+                   help="probing-exposure threshold")
+    p.add_argument("--fia", type=float, default=0.30,
+                   help="FIA-exposure threshold")
+    p.add_argument("--trojan", type=float, default=0.05,
+                   help="Trojan-insertability threshold")
+    p.add_argument("--layers", type=int, default=None,
+                   help="metal layers in the routing stack")
+    p.add_argument("--max-iterations", type=int, default=4)
+    common(p, campaign=True)
+    p.set_defaults(fn=cmd_closure)
 
     p = sub.add_parser("jobs", help="query job records")
     p.add_argument("--run", default=None)

@@ -269,6 +269,86 @@ def _pytest_bench_job(params: Dict[str, object], ctx: JobContext):
     }
 
 
+@register_job_type("route", sample_params={
+    "netlist": "0" * 64, "num_layers": None,
+    "placement_iterations": 2000})
+def _route_job(params: Dict[str, object], ctx: JobContext):
+    """Place and maze-route a stored netlist; publish the layout.
+
+    Placement (annealing, seeded from the spec) and routing are both
+    deterministic in ``(params, seed)``, so the routed geometry — and
+    therefore the returned wirelength/via/failure figures — is
+    bit-identical wherever the job runs.  The full
+    :class:`~repro.physical.routing.RoutedLayout` dict is published to
+    the store under its content digest for downstream jobs.
+    """
+    from ..physical import annealing_placement, maze_route
+
+    netlist = ctx.store.get_netlist(str(params["netlist"]))
+    if netlist is None:
+        raise RuntimeError(
+            f"input netlist {params['netlist']!r} not in store")
+    placement = annealing_placement(
+        netlist, iterations=int(params.get("placement_iterations", 2000)),
+        seed=ctx.seed).placement
+    num_layers = params.get("num_layers")
+    if num_layers is None:
+        layout = maze_route(netlist, placement)
+    else:
+        layout = maze_route(netlist, placement,
+                            num_layers=int(num_layers))
+    doc = layout.to_dict()
+    digest = stable_hash(doc)
+    ctx.store.put(digest, doc)
+    return {"layout": digest,
+            "nets": len(layout.nets),
+            "wirelength": layout.total_wirelength,
+            "vias": layout.total_vias,
+            "failed_nets": list(layout.failed)}
+
+
+@register_job_type("closure", sample_params={
+    "netlist": "0" * 64,
+    "thresholds": {"probing": 0.05, "fia": 0.30, "trojan": 0.05},
+    "num_layers": None, "max_iterations": 4,
+    "placement_iterations": 2000})
+def _closure_job(params: Dict[str, object], ctx: JobContext):
+    """Run iterative security closure on a stored netlist.
+
+    Returns :meth:`~repro.physical.closure.ClosureResult.to_dict` with
+    the trace's wall times stripped — the one non-deterministic part —
+    so the result is a pure function of ``(params, seed)`` and the
+    artifact cache stays sound.  The closed layout is published to the
+    store under ``result['layout']``.
+    """
+    from ..physical import ClosureThresholds, security_closure
+
+    netlist = ctx.store.get_netlist(str(params["netlist"]))
+    if netlist is None:
+        raise RuntimeError(
+            f"input netlist {params['netlist']!r} not in store")
+    bounds = {k: float(v)
+              for k, v in dict(params.get("thresholds", {})).items()}
+    num_layers = params.get("num_layers")
+    result = security_closure(
+        netlist,
+        thresholds=ClosureThresholds(**bounds),
+        num_layers=None if num_layers is None else int(num_layers),
+        max_iterations=int(params.get("max_iterations", 4)),
+        placement_iterations=int(
+            params.get("placement_iterations", 2000)),
+        seed=ctx.seed)
+    doc = result.to_dict()
+    for prov in doc["trace"]["passes"]:
+        prov.pop("wall_ms", None)
+    doc["trace"].pop("total_wall_ms", None)
+    layout_doc = result.layout.to_dict()
+    layout_digest = stable_hash(layout_doc)
+    ctx.store.put(layout_digest, layout_doc)
+    doc["layout"] = layout_digest
+    return doc
+
+
 @register_job_type("pass-pipeline", sample_params={
     "netlist": "0" * 64,
     "passes": [["synthesis", {}]]})

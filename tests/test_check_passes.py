@@ -55,6 +55,96 @@ class TestPassRegistryAudit:
         assert "stageless-test-pass: missing effects" in problems
         assert check_passes.audit() == []   # cleanup verified
 
+    def test_audit_enforces_layout_property_rules(self):
+        from repro.core.stages import DesignStage
+        from repro.flow import Pass, preserves_all
+        from repro.flow import passes as passes_mod
+        from repro.flow.properties import SecurityProperty as P
+
+        check_passes = load_check_passes()
+
+        class GeometryBlind(Pass):
+            """Physical pass claiming zero layout-property effect."""
+
+            name = "geometry-blind-test-pass"
+
+        GeometryBlind.stage = DesignStage.PHYSICAL_SYNTHESIS
+        GeometryBlind.effects = preserves_all()
+
+        class LogicShield(Pass):
+            """Logic-stage pass claiming to establish a layout metric."""
+
+            name = "logic-shield-test-pass"
+
+        LogicShield.stage = DesignStage.LOGIC_SYNTHESIS
+        LogicShield.effects = preserves_all(
+            establishes=[P.PROBING_EXPOSURE])
+
+        registry = passes_mod._REGISTRY
+        registry["geometry-blind-test-pass"] = GeometryBlind
+        registry["logic-shield-test-pass"] = LogicShield
+        try:
+            problems = "\n".join(check_passes.audit())
+        finally:
+            del registry["geometry-blind-test-pass"]
+            del registry["logic-shield-test-pass"]
+        assert ("geometry-blind-test-pass: physical-synthesis pass "
+                "declares no effect") in problems
+        assert ("logic-shield-test-pass: establishes layout property "
+                "probing-exposure outside") in problems
+        assert check_passes.audit() == []
+
+    def test_audit_enforces_closure_eco_contract(self):
+        from repro.core.stages import DesignStage
+        from repro.flow import Pass, effects
+        from repro.flow import passes as passes_mod
+        from repro.flow.properties import ALL_PROPERTIES
+        from repro.flow.properties import SecurityProperty as P
+
+        check_passes = load_check_passes()
+
+        class RogueEco(Pass):
+            """ECO that rewrites the netlist and closes nothing."""
+
+            name = "rogue-eco-test-pass"
+            is_closure_eco = True
+
+        RogueEco.stage = DesignStage.LOGIC_SYNTHESIS
+        RogueEco.effects = effects(
+            invalidates=[P.FUNCTIONAL_EQUIVALENCE],
+            preserves=[p for p in ALL_PROPERTIES
+                       if p is not P.FUNCTIONAL_EQUIVALENCE])
+
+        registry = passes_mod._REGISTRY
+        registry["rogue-eco-test-pass"] = RogueEco
+        try:
+            problems = "\n".join(check_passes.audit())
+        finally:
+            del registry["rogue-eco-test-pass"]
+        assert ("rogue-eco-test-pass: closure ECO must preserve "
+                "functional equivalence") in problems
+        assert ("rogue-eco-test-pass: closure ECO establishes no "
+                "layout property") in problems
+        assert ("rogue-eco-test-pass: closure ECO must belong to the "
+                "physical-synthesis stage") in problems
+        assert check_passes.audit() == []
+
+    def test_registered_closure_ecos_satisfy_contract(self):
+        from repro.core.stages import DesignStage
+        from repro.flow import registered_passes
+        from repro.flow.properties import SecurityProperty as P
+
+        layout = {P.PROBING_EXPOSURE, P.FIA_EXPOSURE,
+                  P.TROJAN_INSERTABILITY}
+        ecos = {name: cls for name, cls in registered_passes().items()
+                if getattr(cls, "is_closure_eco", False)}
+        assert set(ecos) == {"bury-critical-nets", "shield-insertion",
+                             "eco-filler"}
+        for cls in ecos.values():
+            assert cls.stage is DesignStage.PHYSICAL_SYNTHESIS
+            assert P.FUNCTIONAL_EQUIVALENCE in cls.effects.preserves
+            assert cls.effects.establishes & layout
+
     def test_script_exits_zero_on_clean_registry(self):
         proc = subprocess.run(
             [sys.executable, str(REPO_ROOT / "scripts" /

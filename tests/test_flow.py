@@ -106,7 +106,9 @@ class TestEffects:
             preserves=[P.MASKING],
             establishes=[P.TVLA_BOUND],
             invalidates=[P.NO_FLOW, P.FAULT_DETECTION, P.SCAN_LEAKAGE,
-                         P.FUNCTIONAL_EQUIVALENCE]).undeclared == frozenset()
+                         P.FUNCTIONAL_EQUIVALENCE, P.PROBING_EXPOSURE,
+                         P.FIA_EXPOSURE,
+                         P.TROJAN_INSERTABILITY]).undeclared == frozenset()
 
     def test_undeclared_classifies_conservatively(self):
         e = effects(preserves=[P.MASKING])

@@ -314,3 +314,83 @@ def test_locking_equivalence_property(seed, bits):
         assume(False)
         return
     assert check_equivalence(apply_key(locked), base).equivalent
+
+
+class TestSplitWithRoutedGeometry:
+    """The FEOL view consumes real routed geometry when supplied; the
+    heuristic path stays bit-identical to the pre-router behavior."""
+
+    # Pinned outputs of the router-less (heuristic) flow.  These MUST
+    # NOT change: routing integration is opt-in via the ``routing``
+    # parameter, and the default path must stay bit-identical.
+    RCA8_WIRES = 87
+    RCA8_SIG = "ba1b4b99c1b364b7"
+    RCA8_VIA_CCR = 0.8333333333333334
+    RCA8_CELL_CCR = 0.0
+    C17_WIRES = 12
+    C17_SIG = "3cf1a616c981d0fe"
+
+    @staticmethod
+    def _wire_sig(wires):
+        import hashlib
+        import json
+
+        data = sorted((w.driver, w.sink, w.length, w.layer)
+                      for w in wires)
+        return hashlib.sha256(
+            json.dumps(data).encode()).hexdigest()[:16]
+
+    def test_heuristic_path_pinned_rca8(self):
+        from repro.physical import assign_layers
+
+        n = ripple_carry_adder(8)
+        p = annealing_placement(n, iterations=3000, seed=2).placement
+        wires = assign_layers(n, p)
+        assert len(wires) == self.RCA8_WIRES
+        assert self._wire_sig(wires) == self.RCA8_SIG
+        view = build_feol_view(n, p, split_layer=1)
+        assert proximity_attack(view, mode="via").ccr == self.RCA8_VIA_CCR
+        assert proximity_attack(view, mode="cell").ccr == self.RCA8_CELL_CCR
+
+    def test_heuristic_path_pinned_c17(self):
+        from repro.netlist import c17
+        from repro.physical import assign_layers
+
+        n = c17()
+        p = annealing_placement(n, iterations=3000, seed=1).placement
+        wires = assign_layers(n, p)
+        assert len(wires) == self.C17_WIRES
+        assert self._wire_sig(wires) == self.C17_SIG
+
+    def test_routed_layers_reflect_real_geometry(self):
+        from repro.physical import assign_layers, maze_route
+
+        n = ripple_carry_adder(8)
+        p = annealing_placement(n, iterations=3000, seed=2).placement
+        layout = maze_route(n, p)
+        wires = assign_layers(n, p, routing=layout)
+        assert len(wires) == self.RCA8_WIRES
+        scale = layout.scale
+        for w in wires:
+            routed = layout.nets.get(w.driver)
+            if routed is None:
+                continue
+            sx, sy = p.positions[w.sink]
+            pin = (sx * scale, sy * scale)
+            if pin in routed.branches:
+                assert w.layer == routed.branch_max_layer(pin)
+                assert w.length == routed.branch_length(pin) / scale
+
+    def test_routed_via_hints_are_exact_crossings(self):
+        from repro.physical import maze_route
+
+        n = ripple_carry_adder(8)
+        p = annealing_placement(n, iterations=3000, seed=2).placement
+        layout = maze_route(n, p)
+        view = build_feol_view(n, p, split_layer=1, routing=layout)
+        # Deterministic: no jitter in routed mode.
+        again = build_feol_view(n, p, split_layer=1, routing=layout)
+        assert view.sink_vias == again.sink_vias
+        assert view.driver_vias == again.driver_vias
+        result = proximity_attack(view, mode="via")
+        assert 0.0 <= result.ccr <= 1.0

@@ -5,7 +5,7 @@ import pytest
 import test_service_scheduler  # noqa: F401  registers t-echo / t-sleep
 
 from repro.core import CompositionEngine, sweep_locking
-from repro.netlist import ripple_carry_adder
+from repro.netlist import c17, ripple_carry_adder
 from repro.service import (
     ArtifactStore,
     CampaignError,
@@ -14,6 +14,7 @@ from repro.service import (
     Scheduler,
     composition_matrix_campaign,
     locking_sweep_campaign,
+    security_closure_campaign,
 )
 
 WIDTHS = [0, 2, 4]
@@ -137,6 +138,54 @@ class TestPassPipelineJob:
         assert [p.pass_name for p in trace.passes] == ["synthesis"]
 
 
+class TestSecurityClosureCampaign:
+    def test_closure_job_end_to_end_multiprocess(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        rundb = RunDatabase(tmp_path / "runs.jsonl")
+        results = security_closure_campaign(
+            [c17(), ripple_carry_adder(8)], seed=2, workers=2,
+            store=store, rundb=rundb)
+        assert set(results) == {"c17", "rca8"}
+        for name, row in results.items():
+            assert row["converged"], name
+            assert row["equivalent"], name
+            assert row["failed_nets"] == [], name
+            assert row["metrics"]["probing"] <= 0.05
+            assert row["metrics"]["fia"] <= 0.30
+            assert row["metrics"]["trojan"] <= 0.05
+            assert row["layout"] in store   # closed layout published
+        by_type = [r for r in rundb.records() if r.job_type == "closure"]
+        assert len(by_type) == 2
+        assert all(r.status == "succeeded" for r in by_type)
+
+    def test_workers_bit_identical_to_serial(self, tmp_path):
+        # The closure job strips wall times, so the *entire* result
+        # dict — per-iteration trace provenance included — must match.
+        serial = security_closure_campaign(
+            [c17()], seed=4, workers=0,
+            store=ArtifactStore(tmp_path / "serial"))
+        parallel = security_closure_campaign(
+            [c17()], seed=4, workers=2,
+            store=ArtifactStore(tmp_path / "parallel"))
+        assert serial == parallel
+
+    def test_route_job_publishes_layout(self, tmp_path):
+        from repro.service import JobContext, run_job
+
+        store = ArtifactStore(tmp_path / "store")
+        digest = store.put_netlist(c17())
+        spec = JobSpec("route", params={"netlist": digest}, seed=1)
+        result = run_job(spec, JobContext(seed=1, store=store))
+        assert result["failed_nets"] == []
+        assert result["nets"] > 0
+        doc = store.get(result["layout"])
+        from repro.physical import RoutedLayout
+
+        layout = RoutedLayout.from_dict(doc)
+        assert len(layout.nets) == result["nets"]
+        assert layout.total_wirelength == result["wirelength"]
+
+
 class TestCliValidation:
     def test_compose_unknown_stack_exits_2(self, capsys):
         from repro.service.cli import main
@@ -151,6 +200,14 @@ class TestCliValidation:
 
         assert main(["sweep", "--bench", "nope"]) == 2
         assert "nope" in capsys.readouterr().out
+
+    def test_closure_unknown_bench_exits_2(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["closure", "--benches", "c17,bogus"]) == 2
+        out = capsys.readouterr().out
+        assert "bogus" in out
+        assert "c17" in out
 
 
 class TestRunDatabase:
