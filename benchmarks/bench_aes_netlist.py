@@ -23,6 +23,7 @@ from repro.crypto import (
     aes_datapath_netlist,
     encryption_schedule,
     run_aes_datapath,
+    run_aes_datapath_batch,
 )
 from repro.dft import netlist_scan_attack
 from repro.fia import DfaAttacker
@@ -51,17 +52,20 @@ def run_full_stack():
     cpa = cpa_attack(traces, byte0,
                      hypothesis=lambda p, k: HW8[np.bitwise_xor(p, k)])
 
-    # DFA with register-level fault injection into the real datapath.
+    # DFA with register-level fault injection into the real datapath;
+    # all faulty encryptions run as one bit-parallel batch.
     attacker = DfaAttacker(
         aes.encrypt,
         lambda p, byte_idx, fv: run_aes_datapath(
             datapath, p, key, fault_round=10, fault_byte=byte_idx,
             fault_value=fv),
-        seed=3)
+        seed=3,
+        batch_oracle=lambda queries: run_aes_datapath_batch(
+            datapath, key, [(p, 10, b, fv) for p, b, fv in queries]))
     dfa = attacker.attack(max_faults_per_byte=5)
 
-    # Scan attack through the inserted chain.
-    scan = netlist_scan_attack(key, seed=4)
+    # Scan attack through the inserted chain (reusing the datapath).
+    scan = netlist_scan_attack(key, seed=4, datapath=datapath)
 
     return {
         "cells": datapath.num_cells(),

@@ -41,10 +41,11 @@ BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 #: ``--check`` scope: the flow-level benchmarks whose overhead the
 #: pass-manager refactor must bound (fig1 flows, fig2 masking, AES)
-#: plus the SAT-core microbenchmarks (ATPG / SAT attack kernels) and
-#: the physical-design kernels (maze routing / security closure).
+#: plus the SAT-core microbenchmarks (ATPG / SAT attack kernels), the
+#: physical-design kernels (maze routing / security closure), and the
+#: batched variant-sweep benchmarks (masking TVLA / locking keys).
 CHECK_FILES = ("bench_fig1.py", "bench_fig2.py", "bench_aes_netlist.py",
-               "bench_sat.py", "bench_closure.py")
+               "bench_sat.py", "bench_closure.py", "bench_variants.py")
 #: ``--check`` baseline: the pre-pass-manager reference run (PR 1).
 BASELINE = REPO_ROOT / "BENCH_1.json"
 
@@ -146,6 +147,17 @@ def compare(previous: Dict[str, float], current: Dict[str, float],
         print(f"{name:<{width}}  {previous[name]:>10.4f}  {'-':>10}  "
               f"{'gone':>8}")
     return regressions
+
+
+def check_summary(baseline: Dict[str, float],
+                  current: Dict[str, float]) -> None:
+    """One-line ``--check`` recap: median speedup vs the baseline."""
+    speedups = [baseline[n] / current[n] for n in current
+                if n in baseline and current[n] > 0]
+    if speedups:
+        print(f"median speedup vs earliest baseline over "
+              f"{len(speedups)} benchmark(s): "
+              f"{statistics.median(speedups):.2f}x")
 
 
 def expand_targets(targets) -> list:
@@ -267,9 +279,13 @@ def main(argv: Optional[list] = None) -> int:
             latest = sorted(runs)[-1]
             baseline = check_baseline(runs, exclude=latest)
             current = load_means(runs[latest], stat="min")
-            shared = {n: t for n, t in current.items() if n in baseline}
-            bad = compare(baseline, shared, args.threshold,
+            # Benchmarks this run introduced have no earlier anchor:
+            # keep them in the table (shown as "new") and trim the
+            # baseline to the checked scope instead.
+            baseline = {n: t for n, t in baseline.items() if n in current}
+            bad = compare(baseline, current, args.threshold,
                           normalize=True)
+            check_summary(baseline, current)
             return 1 if bad else 0
         if len(runs) < 2:
             print("need at least two BENCH_*.json files to compare")
@@ -324,8 +340,9 @@ def main(argv: Optional[list] = None) -> int:
     if args.check:
         baseline = check_baseline(runs)
         current = load_means(out_path, stat="min")
-        current = {n: t for n, t in current.items() if n in baseline}
+        baseline = {n: t for n, t in baseline.items() if n in current}
         bad = compare(baseline, current, args.threshold, normalize=True)
+        check_summary(baseline, current)
     else:
         previous_path = runs.get(max(runs)) if runs else None
         bad = compare(load_means(previous_path) if previous_path else {},

@@ -72,6 +72,7 @@ from .dse import (
     measure_locking_point,
     pareto_front,
     sweep_locking,
+    sweep_locking_keys,
 )
 from .table2 import (
     CellResult,
@@ -120,7 +121,7 @@ __all__ = [
     "no_leaky_net_requirement", "tvla_requirement",
     "Candidate", "LockingSweepPoint", "dominates", "locking_candidates",
     "measure_locking_point",
-    "pareto_front", "sweep_locking",
+    "pareto_front", "sweep_locking", "sweep_locking_keys",
     "CellResult", "all_demos", "render_table", "run_all", "run_cell",
     "CompilationReport", "DetectionConstraint", "LeakageConstraint",
     "MaskingConstraint", "NoFlowConstraint", "Obligation",

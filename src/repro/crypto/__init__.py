@@ -34,6 +34,7 @@ from .aes_netlist import (
     encode_state,
     encryption_schedule,
     run_aes_datapath,
+    run_aes_datapath_batch,
 )
 from .sboxes import (
     aes_sbox_netlist,
@@ -52,6 +53,7 @@ __all__ = [
     "expand_key80",
     "aes_datapath_netlist", "aes_round_netlist", "decode_state",
     "encode_state", "encryption_schedule", "run_aes_datapath",
+    "run_aes_datapath_batch",
     "aes_sbox_netlist", "present_sbox_netlist", "sbox_lookup",
     "sbox_with_key_netlist",
 ]

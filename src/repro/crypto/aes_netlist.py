@@ -13,9 +13,9 @@ Bit conventions: state byte ``i`` (AES order) occupies nets
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..netlist import GateType, Netlist
+from ..netlist import GateType, Netlist, get_compiled
 from .aes import SHIFT_ROWS, expand_key
 from .sboxes import aes_sbox_netlist
 
@@ -205,21 +205,38 @@ def aes_datapath_netlist(name: str = "aes_datapath") -> Netlist:
     return host
 
 
+#: Key -> (cycle-0 round-key stimulus, cycles 1..10).  Only cycle 0
+#: depends on the plaintext, so everything else is shared across the
+#: hundreds of schedules a trace campaign builds for one key.
+_SCHEDULE_MEMO: Dict[Tuple[int, ...],
+                     Tuple[Dict[str, int], List[Dict[str, int]]]] = {}
+_SCHEDULE_MEMO_MAX = 8
+
+
 def encryption_schedule(plaintext: Sequence[int], key: Sequence[int]
                         ) -> List[Dict[str, int]]:
     """The 11-cycle input sequence computing one encryption."""
-    round_keys = expand_key(list(key))
-    sequence: List[Dict[str, int]] = []
-    stim = {"load": 1, "final": 0}
-    stim.update(encode_state(plaintext, "pt"))
-    stim.update(encode_state(round_keys[0], "k"))
-    sequence.append(stim)
-    for rnd in range(1, 11):
-        stim = {"load": 0, "final": 1 if rnd == 10 else 0}
-        stim.update(encode_state([0] * 16, "pt"))
-        stim.update(encode_state(round_keys[rnd], "k"))
-        sequence.append(stim)
-    return sequence
+    key_tuple = tuple(int(k) & 0xFF for k in key)
+    memo = _SCHEDULE_MEMO.get(key_tuple)
+    if memo is None:
+        round_keys = expand_key(list(key_tuple))
+        zero_pt = encode_state([0] * 16, "pt")
+        tail: List[Dict[str, int]] = []
+        for rnd in range(1, 11):
+            stim = {"load": 0, "final": 1 if rnd == 10 else 0}
+            stim.update(zero_pt)
+            stim.update(encode_state(round_keys[rnd], "k"))
+            tail.append(stim)
+        memo = (encode_state(round_keys[0], "k"), tail)
+        while len(_SCHEDULE_MEMO) >= _SCHEDULE_MEMO_MAX:
+            _SCHEDULE_MEMO.pop(next(iter(_SCHEDULE_MEMO)))
+        _SCHEDULE_MEMO[key_tuple] = memo
+    key0_stim, tail = memo
+    first = {"load": 1, "final": 0}
+    first.update(encode_state(plaintext, "pt"))
+    first.update(key0_stim)
+    # Fresh dicts throughout: callers may mutate their schedule.
+    return [first] + [dict(stim) for stim in tail]
 
 
 def _state_bytes(state: Mapping[str, int]) -> List[int]:
@@ -241,15 +258,77 @@ def run_aes_datapath(netlist: Netlist, plaintext: Sequence[int],
     fault injection into the real hardware, feeding the DFA of
     :mod:`repro.fia.dfa` with gate-level faulty ciphertexts.
     """
-    from ..netlist import step_sequential
-
-    state: Dict[str, int] = {}
-    for cycle, stim in enumerate(encryption_schedule(plaintext, key)):
+    compiled = get_compiled(netlist)
+    flop_pos = {name: i for i, name in enumerate(compiled.flop_names)}
+    regs = [0] * len(compiled.flop_names)
+    for cycle, stim_map in enumerate(encryption_schedule(plaintext, key)):
         if fault_round is not None and cycle == fault_round:
             # State currently holds the input of round `fault_round`.
             for b in range(8):
                 if (fault_value >> b) & 1:
-                    name = f"q{fault_byte}_{b}"
-                    state[name] = state.get(name, 0) ^ 1
-        _, state = step_sequential(netlist, stim, state)
+                    regs[flop_pos[f"q{fault_byte}_{b}"]] ^= 1
+        stim = [stim_map[name] for name in compiled.input_names]
+        _, regs = compiled.step_words(stim, regs)
+    state = dict(zip(compiled.flop_names, regs))
     return _state_bytes(state)
+
+
+def run_aes_datapath_batch(netlist: Netlist, key: Sequence[int],
+                           queries: Sequence[Tuple[Sequence[int],
+                                                   Optional[int], int, int]]
+                           ) -> List[List[int]]:
+    """Many (plaintext, fault) encryptions in one bit-parallel pass.
+
+    ``queries`` holds ``(plaintext, fault_round, fault_byte,
+    fault_value)`` tuples; query ``q`` occupies bit lane ``q`` of every
+    packed word, so the whole batch costs 11 wide cycles instead of
+    ``11 * len(queries)`` narrow ones.  Each returned ciphertext is
+    bit-identical to the corresponding serial
+    :func:`run_aes_datapath` call (``fault_round=None`` encrypts
+    fault-free).
+    """
+    width = len(queries)
+    if not width:
+        return []
+    compiled = get_compiled(netlist)
+    flop_pos = {name: i for i, name in enumerate(compiled.flop_names)}
+    full = (1 << width) - 1
+    round_keys = expand_key(list(key))
+    # Plaintext planes: lane q of pt{i}_{b} is query q's bit.
+    pt_words = {f"pt{i}_{b}": 0 for i in range(16) for b in range(8)}
+    for q, (plaintext, _, _, _) in enumerate(queries):
+        lane = 1 << q
+        for i, byte in enumerate(plaintext):
+            for b in range(8):
+                if (byte >> b) & 1:
+                    pt_words[f"pt{i}_{b}"] |= lane
+    zero_pt = {name: 0 for name in pt_words}
+    schedule = []
+    for cycle in range(11):
+        stim_map = {"load": full if cycle == 0 else 0,
+                    "final": full if cycle == 10 else 0}
+        stim_map.update(pt_words if cycle == 0 else zero_pt)
+        stim_map.update(encode_state(round_keys[cycle], "k", width))
+        schedule.append([stim_map[name] for name in compiled.input_names])
+    # Fault plan: cycle -> [(flop position, lane mask)].
+    flips: Dict[int, List[Tuple[int, int]]] = {}
+    for q, (_, fault_round, fault_byte, fault_value) in enumerate(queries):
+        if fault_round is None:
+            continue
+        for b in range(8):
+            if (fault_value >> b) & 1:
+                flips.setdefault(fault_round, []).append(
+                    (flop_pos[f"q{fault_byte}_{b}"], 1 << q))
+    regs = [0] * len(compiled.flop_names)
+    for cycle, stim in enumerate(schedule):
+        for pos, lane in flips.get(cycle, ()):
+            regs[pos] ^= lane
+        _, regs = compiled.step_words(stim, regs, width)
+    return [
+        [
+            sum(((regs[flop_pos[f"q{i}_{b}"]] >> q) & 1) << b
+                for b in range(8))
+            for i in range(16)
+        ]
+        for q in range(width)
+    ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..netlist import GateType, Netlist, step_sequential
+from ..netlist import GateType, Netlist, get_compiled
 
 SCAN_ENABLE = "scan_en"
 SCAN_IN = "scan_in"
@@ -65,28 +65,24 @@ def scan_load(design: ScanDesign, bits: Sequence[int],
     flop last, i.e. ``bits[i]`` ends up in ``chain[i]``)."""
     if len(bits) != design.length:
         raise ValueError("bit count must equal chain length")
-    state = dict(state or {})
-    base = dict(functional_inputs or {})
+    compiled, stim, regs = _scan_cycle_setup(design, functional_inputs,
+                                             state, scan_enable=1)
+    scan_in_pos = compiled.input_names.index(SCAN_IN)
     # Shift in reversed so bits[0] lands in chain[0].
     for bit in reversed(list(bits)):
-        stim = dict(base)
-        stim[SCAN_ENABLE] = 1
-        stim[SCAN_IN] = bit & 1
-        stim.setdefault(SCAN_IN, bit & 1)
-        _, state = step_sequential(design.netlist, _fill(design, stim),
-                                   state)
-    return state
+        stim[scan_in_pos] = bit & 1
+        _, regs = compiled.step_words(stim, regs)
+    return dict(zip(compiled.flop_names, regs))
 
 
 def scan_capture(design: ScanDesign,
                  functional_inputs: Mapping[str, int],
                  state: Dict[str, int]) -> Dict[str, int]:
     """One functional (capture) cycle with ``scan_en = 0``."""
-    stim = dict(functional_inputs)
-    stim[SCAN_ENABLE] = 0
-    stim[SCAN_IN] = 0
-    _, state = step_sequential(design.netlist, _fill(design, stim), state)
-    return state
+    compiled, stim, regs = _scan_cycle_setup(design, functional_inputs,
+                                             state, scan_enable=0)
+    _, regs = compiled.step_words(stim, regs)
+    return dict(zip(compiled.flop_names, regs))
 
 
 def scan_unload(design: ScanDesign,
@@ -97,23 +93,34 @@ def scan_unload(design: ScanDesign,
 
     ``bits[i]`` is the value that was held in ``chain[i]``.
     """
-    base = dict(functional_inputs or {})
+    compiled, stim, regs = _scan_cycle_setup(design, functional_inputs,
+                                             state, scan_enable=1)
+    scan_out_index = compiled.index[SCAN_OUT]
     bits: List[int] = []
-    state = dict(state)
     # chain[-1] drives scan_out directly; shifting length times reads all.
     for _ in range(design.length):
-        stim = dict(base)
-        stim[SCAN_ENABLE] = 1
-        stim[SCAN_IN] = 0
-        values, state = step_sequential(design.netlist,
-                                        _fill(design, stim), state)
-        bits.append(values[SCAN_OUT] & 1)
+        values, regs = compiled.step_words(stim, regs)
+        bits.append(values[scan_out_index] & 1)
     # scan_out emits chain[-1] first.
-    return list(reversed(bits)), state
+    return list(reversed(bits)), dict(zip(compiled.flop_names, regs))
 
 
-def _fill(design: ScanDesign, stimulus: Dict[str, int]) -> Dict[str, int]:
-    """Default unspecified functional inputs to 0."""
-    full = {name: 0 for name in design.netlist.inputs}
-    full.update(stimulus)
-    return full
+def _scan_cycle_setup(design: ScanDesign,
+                      functional_inputs: Optional[Mapping[str, int]],
+                      state: Optional[Mapping[str, int]],
+                      scan_enable: int):
+    """Positional (stimulus, registers) for a run of scan cycles.
+
+    One stimulus list serves every cycle of a shift run — only the
+    ``scan_in`` slot changes — so the per-cycle cost is a single
+    compiled evaluation, with no name-keyed dicts rebuilt per cycle.
+    """
+    compiled = get_compiled(design.netlist)
+    full = {name: 0 for name in compiled.input_names}
+    full.update(functional_inputs or {})
+    full[SCAN_ENABLE] = scan_enable
+    full[SCAN_IN] = 0
+    stim = [full[name] & 1 for name in compiled.input_names]
+    source = state or {}
+    regs = [source.get(ff, 0) & 1 for ff in compiled.flop_names]
+    return compiled, stim, regs

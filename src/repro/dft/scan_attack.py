@@ -110,7 +110,8 @@ def scan_attack(chip: ScanChipModel, seed: int = 0) -> ScanAttackResult:
 
 
 def netlist_scan_attack(key: Sequence[int],
-                        seed: int = 0) -> ScanAttackResult:
+                        seed: int = 0,
+                        datapath=None) -> ScanAttackResult:
     """The scan attack against the *real gate-level* AES datapath.
 
     Builds the 7,400-cell round-serial AES netlist
@@ -120,17 +121,21 @@ def netlist_scan_attack(key: Sequence[int],
     the register out through ``scan_out`` and XORs with the known
     plaintext — recovering the master key directly, since AES-128's
     round key 0 *is* the master key.
+
+    Pass a prebuilt ``datapath`` netlist to skip the (re)build; it is
+    copied during scan insertion, never mutated.
     """
     import random as _random
 
     from ..crypto.aes_netlist import aes_datapath_netlist, encode_state
     from ..crypto import expand_key
-    from ..netlist import step_sequential
+    from ..netlist import get_compiled
     from .scan import insert_scan, scan_unload
 
     rng = _random.Random(seed)
     plaintext = [rng.randrange(256) for _ in range(16)]
-    datapath = aes_datapath_netlist()
+    if datapath is None:
+        datapath = aes_datapath_netlist()
     design = insert_scan(datapath)
     round_keys = expand_key(list(key))
     # Mission mode, one load cycle.  The round key is supplied by the
@@ -138,7 +143,10 @@ def netlist_scan_attack(key: Sequence[int],
     stimulus = {"load": 1, "final": 0, "scan_en": 0, "scan_in": 0}
     stimulus.update(encode_state(plaintext, "pt"))
     stimulus.update(encode_state(round_keys[0], "k"))
-    _, state = step_sequential(design.netlist, stimulus, {})
+    compiled = get_compiled(design.netlist)
+    stim = [stimulus[name] for name in compiled.input_names]
+    _, regs = compiled.step_words(stim, [0] * len(compiled.flop_names))
+    state = dict(zip(compiled.flop_names, regs))
     # Test mode: shift the whole state register out.
     quiesce = {"load": 0, "final": 0}
     quiesce.update(encode_state([0] * 16, "pt"))

@@ -15,9 +15,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..formal import CircuitEncoder
-from ..netlist import GateType, Netlist, get_compiled, random_stimulus
+from ..netlist import (
+    GateType, Netlist, VariantFamily, VariantSpec, get_compiled,
+    random_stimulus,
+)
 from .injector import inject_fault
 from .models import Fault, FaultKind
+
+#: Total packed-word budget (faults-per-family x vectors) for the
+#: batched campaign path.  Large on purpose: the batched win comes from
+#: amortizing per-gate dispatch over many variants per word.
+_FAMILY_CHUNK_BITS = 1 << 15
+
+#: Below this many faults the event-driven serial path (which only
+#: touches each fault's combinational cone) wins; above it, whole-family
+#: evaluation amortizes better.
+_BATCH_THRESHOLD = 8
 
 
 @dataclass
@@ -68,34 +81,56 @@ class CampaignReport:
         )
 
 
+def _fault_spec(fault: Fault) -> VariantSpec:
+    """The variant delta equivalent to one injected fault."""
+    if fault.kind is FaultKind.STUCK_AT_0:
+        return VariantSpec(forces={fault.net: 0})
+    if fault.kind is FaultKind.STUCK_AT_1:
+        return VariantSpec(forces={fault.net: 1})
+    if fault.kind is FaultKind.BIT_FLIP:
+        return VariantSpec(flips=[fault.net])
+    raise ValueError(f"unsupported fault kind {fault.kind}")
+
+
 def fault_campaign(netlist: Netlist, faults: Sequence[Fault],
                    n_vectors: int = 64,
                    alarm: Optional[str] = None,
                    payload_outputs: Optional[Sequence[str]] = None,
-                   seed: int = 0) -> CampaignReport:
+                   seed: int = 0,
+                   batch: object = "auto") -> CampaignReport:
     """Random-vector fault simulation campaign.
 
     ``alarm`` names the detection output (if the design has one);
     ``payload_outputs`` restricts which outputs count as corruption
     (default: all outputs except the alarm).
 
-    The campaign runs on the compiled engine: one fault-free
-    bit-parallel simulation covers all vectors, then each fault is
-    propagated event-driven through its combinational cone
-    (:meth:`~repro.netlist.CompiledNetlist.propagate_force`) — no
-    per-fault netlist copy, no full re-simulation.  Results match the
-    ``inject_fault``-then-``simulate`` formulation exactly, including
-    its name-resolution detail: a BIT_FLIP (or a stuck-at on a primary
-    input) interposes a new net between the victim and its consumers,
-    so the victim's *own name* keeps its healthy value when read as an
-    output or alarm; a stuck-at on an internal gate rewrites the gate
-    itself and is visible under its own name.
+    Two bit-identical execution strategies share one random stimulus:
+
+    * serial — one fault-free bit-parallel simulation covers all
+      vectors, then each fault is propagated event-driven through its
+      combinational cone
+      (:meth:`~repro.netlist.CompiledNetlist.propagate_force`);
+    * batched — faults become variant deltas of a
+      :class:`~repro.netlist.VariantFamily` (stuck-ats as force planes,
+      bit-flips as xor planes) and whole chunks of the fault list are
+      scored in one packed evaluation alongside a golden variant.
+
+    ``batch`` selects the strategy: ``True``/``False`` force it,
+    ``"auto"`` (default) batches once the fault list is large enough to
+    amortize full-netlist evaluation over many variants.
+
+    Results match the ``inject_fault``-then-``simulate`` formulation
+    exactly, including its name-resolution detail: a BIT_FLIP (or a
+    stuck-at on a primary input) interposes a new net between the
+    victim and its consumers, so the victim's *own name* keeps its
+    healthy value when read as an output or alarm; a stuck-at on an
+    internal gate rewrites the gate itself and is visible under its
+    own name.
     """
     rng = random.Random(seed)
     width = n_vectors
     stimulus = random_stimulus(netlist.inputs, width, rng)
     compiled = get_compiled(netlist)
-    golden = compiled.eval_words(stimulus, width)
     outputs = list(payload_outputs) if payload_outputs else [
         o for o in netlist.outputs if o != alarm
     ]
@@ -104,6 +139,45 @@ def fault_campaign(netlist: Netlist, faults: Sequence[Fault],
     gates = netlist.gates
     mask = (1 << width) - 1
     report = CampaignReport()
+    if batch is True or (batch == "auto" and len(faults) >= _BATCH_THRESHOLD):
+        chunk = max(1, _FAMILY_CHUNK_BITS // max(1, width))
+        for start in range(0, len(faults), chunk):
+            group = faults[start:start + chunk]
+            # Variant 0 is the golden (fault-free) design; fault k of
+            # the group occupies slice k+1 of every packed word.
+            family = VariantFamily(
+                netlist, [VariantSpec()] + [_fault_spec(f) for f in group])
+            words = family.eval_words(stimulus, width)
+            for k, fault in enumerate(group, start=1):
+                site = compiled.index[fault.net]
+                shift = k * width
+                site_visible = (
+                    fault.kind is not FaultKind.BIT_FLIP
+                    and gates[fault.net].gate_type is not GateType.INPUT)
+                corrupt = 0
+                for o in output_indices:
+                    if o == site and not site_visible:
+                        continue
+                    word = words[o]
+                    corrupt |= ((word >> shift) ^ word) & mask
+                propagated = corrupt != 0
+                if alarm is not None:
+                    word = words[alarm_index]
+                    if alarm_index == site and not site_visible:
+                        alarm_word = word & mask
+                    else:
+                        alarm_word = (word >> shift) & mask
+                    undetected_corruption = corrupt & ~alarm_word & mask
+                    detected = propagated and undetected_corruption == 0
+                    silent = undetected_corruption != 0
+                else:
+                    detected = False
+                    silent = propagated
+                report.outcomes.append(
+                    FaultOutcome(fault, propagated, detected, silent)
+                )
+        return report
+    golden = compiled.eval_words(stimulus, width)
     for fault in faults:
         site = compiled.index[fault.net]
         if fault.kind is FaultKind.STUCK_AT_0:

@@ -63,29 +63,62 @@ class DfaAttacker:
     ciphertext`` (normally ``AES128.encrypt_with_fault`` bound to round
     10); countermeasures replace the oracle with a protected
     implementation that suppresses or infects faulty outputs.
+
+    ``batch_oracle``, if given, is a callable taking a list of
+    ``(plaintext, byte_index, fault_value)`` queries and returning the
+    faulty ciphertexts (or ``None`` entries) in order — e.g.
+    :func:`repro.crypto.run_aes_datapath_batch` against a gate-level
+    datapath.  The attack then asks for all its faulty encryptions in
+    one call instead of one oracle round trip per injection; the
+    recovered key, survivor counts, and fault budget accounting are
+    identical to the per-query path.
     """
 
     def __init__(self, encrypt, encrypt_with_fault,
                  fault_set: Sequence[int] = BIT_FAULTS,
-                 seed: int = 0) -> None:
+                 seed: int = 0, batch_oracle=None) -> None:
         self.encrypt = encrypt
         self.encrypt_with_fault = encrypt_with_fault
         self.fault_set = tuple(fault_set)
         self.rng = random.Random(seed)
+        self.batch_oracle = batch_oracle
 
     def attack(self, max_faults_per_byte: int = 8) -> DfaResult:
         """Run the campaign; returns the recovered keys (or failure)."""
         faults_used = 0
         round_key: List[Optional[int]] = [None] * 16
         survivors: List[int] = [256] * 16
+        # Every injection is drawn up front, in byte order, so the rng
+        # stream does not depend on how many attempts each byte ends up
+        # consuming — the contract that lets the serial and batched
+        # oracle paths return bit-identical results.
+        attempts = [
+            [([self.rng.randrange(256) for _ in range(16)],
+              self.rng.choice(self.fault_set))
+             for _ in range(max_faults_per_byte)]
+            for _ in range(16)
+        ]
+        faulty: Optional[List[List[Optional[List[int]]]]] = None
+        if self.batch_oracle is not None:
+            queries = [
+                (pt, state_byte, fault_value)
+                for state_byte in range(16)
+                for pt, fault_value in attempts[state_byte]
+            ]
+            answers = iter(self.batch_oracle(queries))
+            faulty = [[next(answers) for _ in attempts[state_byte]]
+                      for state_byte in range(16)]
         for state_byte in range(16):
             ct_pos = SHIFT_ROWS.index(state_byte)
             candidates: Optional[Set[int]] = None
-            for _ in range(max_faults_per_byte):
-                pt = [self.rng.randrange(256) for _ in range(16)]
+            for attempt, (pt, fault_value) in enumerate(
+                    attempts[state_byte]):
                 good = self.encrypt(pt)
-                fault_value = self.rng.choice(self.fault_set)
-                bad = self.encrypt_with_fault(pt, state_byte, fault_value)
+                if faulty is not None:
+                    bad = faulty[state_byte][attempt]
+                else:
+                    bad = self.encrypt_with_fault(pt, state_byte,
+                                                  fault_value)
                 faults_used += 1
                 if bad is None or bad == good:
                     continue  # countermeasure suppressed the fault

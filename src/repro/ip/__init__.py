@@ -1,6 +1,12 @@
 """IP protection: locking, SAT attack, camouflaging, split mfg., PUFs."""
 
-from .locking import LockedCircuit, apply_key, lock_xor, wrong_key_error_rate
+from .locking import (
+    LockedCircuit,
+    apply_key,
+    lock_xor,
+    score_candidate_keys,
+    wrong_key_error_rate,
+)
 from .sat_attack import (
     SatAttackResult,
     attack_locked_circuit,
@@ -50,7 +56,8 @@ from .metering import (
 )
 
 __all__ = [
-    "LockedCircuit", "apply_key", "lock_xor", "wrong_key_error_rate",
+    "LockedCircuit", "apply_key", "lock_xor", "score_candidate_keys",
+    "wrong_key_error_rate",
     "SatAttackResult", "attack_locked_circuit", "sat_attack",
     "verify_recovered_key",
     "antisat_lock",

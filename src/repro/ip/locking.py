@@ -14,6 +14,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..netlist import GateType, Netlist
 
 
@@ -111,35 +113,114 @@ def apply_key(locked: LockedCircuit,
     return bound
 
 
+def _key_corruption_counts(locked: LockedCircuit,
+                           keys: List[Dict[str, int]],
+                           stimulus: Dict[str, int],
+                           vectors: int) -> List[int]:
+    """Corrupted output bits per candidate key, all keys in one pass.
+
+    The locked netlist is lowered once into a
+    :class:`~repro.netlist.VariantFamily`: variant 0 carries the
+    correct key (the golden reference) and candidate ``i`` is variant
+    ``i + 1``, with key values fed through ``per_variant_inputs`` —
+    the family's cheap lane for stimulus-only sweeps, which skips
+    per-variant delta bookkeeping entirely.  Returns integer bit
+    counts so callers' final divisions are bit-identical to the
+    serial one-simulation-per-key formulation.
+    """
+    from ..netlist import VariantFamily, VariantSpec, get_compiled
+
+    net = locked.netlist
+    full = (1 << vectors) - 1
+    all_keys = [locked.key] + list(keys)
+    identity = VariantSpec()
+    family = VariantFamily(net, [identity] * len(all_keys))
+    key_columns = {
+        name: [full if key[name] else 0 for key in all_keys]
+        for name in locked.key
+    }
+    words = family.eval_words(stimulus, vectors,
+                              per_variant_inputs=key_columns)
+    compiled = get_compiled(net)
+    output_indices = [compiled.index[o] for o in net.outputs]
+    n_variants = len(all_keys)
+    if vectors % 8 == 0 and output_indices:
+        # XOR every slice against a replicated golden (variant 0),
+        # then popcount all outputs at once as one byte matrix.
+        # Popcounts are exact, so this matches the shift-and-
+        # bit_count loop below bit for bit.
+        rep = 0
+        for v in range(n_variants):
+            rep |= 1 << (v * vectors)
+        n_bytes = n_variants * vectors // 8
+        buf = b"".join(
+            (words[o] ^ ((words[o] & full) * rep)).to_bytes(n_bytes,
+                                                            "little")
+            for o in output_indices)
+        per_variant = np.bitwise_count(
+            np.frombuffer(buf, dtype=np.uint8)
+        ).reshape(len(output_indices), n_variants, vectors // 8
+                  ).sum(axis=(0, 2))
+        return [int(c) for c in per_variant[1:]]
+    counts: List[int] = []
+    for v in range(1, n_variants):
+        shift = v * vectors
+        corrupted = 0
+        for o in output_indices:
+            word = words[o]
+            corrupted += (((word >> shift) ^ word) & full).bit_count()
+        counts.append(corrupted)
+    return counts
+
+
+def score_candidate_keys(locked: LockedCircuit,
+                         keys: List[Dict[str, int]],
+                         vectors: int = 64,
+                         seed: int = 0) -> List[float]:
+    """Corruption rate of each candidate key under one shared stimulus.
+
+    All candidates are scored against the correct key in a single
+    batched family evaluation — one lowering of the locked netlist no
+    matter how many keys.  Returns one rate in ``[0, 1]`` per key
+    (0.0 = indistinguishable from the correct key on these vectors).
+    """
+    from ..netlist import random_stimulus
+
+    rng = random.Random(seed)
+    net = locked.netlist
+    data_inputs = [i for i in net.inputs if i not in locked.key]
+    stimulus = random_stimulus(data_inputs, vectors, rng)
+    counts = _key_corruption_counts(locked, keys, stimulus, vectors)
+    denominator = len(net.outputs) * vectors
+    if not denominator:
+        return [0.0 for _ in counts]
+    return [c / denominator for c in counts]
+
+
 def wrong_key_error_rate(locked: LockedCircuit, trials: int = 32,
                          vectors: int = 64, seed: int = 0) -> float:
     """Fraction of (wrong key, input) pairs with corrupted outputs.
 
     A good locking scheme shows high corruption for random wrong keys —
     the basic functional-impact metric before any attack modeling.
+    All sampled keys are scored in one batched family evaluation;
+    the result is bit-identical to simulating each wrong key on its
+    own (the random key draws are unchanged).
     """
-    from ..netlist import random_stimulus, simulate
-
     rng = random.Random(seed)
     net = locked.netlist
     data_inputs = [i for i in net.inputs if i not in locked.key]
+    from ..netlist import random_stimulus
+
     stimulus = random_stimulus(data_inputs, vectors, rng)
-    correct = dict(stimulus)
-    for k, bit in locked.key.items():
-        correct[k] = ((1 << vectors) - 1) if bit else 0
-    golden = simulate(net, correct, vectors)
-    corrupted = 0
-    total = 0
+    wrong_keys: List[Dict[str, int]] = []
     for _ in range(trials):
         wrong = {k: rng.randint(0, 1) for k in locked.key}
         if all(wrong[k] == locked.key[k] for k in locked.key):
             continue
-        stim = dict(stimulus)
-        for k, bit in wrong.items():
-            stim[k] = ((1 << vectors) - 1) if bit else 0
-        values = simulate(net, stim, vectors)
-        for out in net.outputs:
-            diff = golden[out] ^ values[out]
-            corrupted += diff.bit_count()
-            total += vectors
-    return corrupted / total if total else 0.0
+        wrong_keys.append(wrong)
+    total = len(wrong_keys) * len(net.outputs) * vectors
+    if not total:
+        return 0.0
+    counts = _key_corruption_counts(locked, wrong_keys, stimulus, vectors)
+    return sum(counts) / total

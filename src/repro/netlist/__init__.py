@@ -2,7 +2,7 @@
 
 from .gates import GateType, evaluate, check_arity
 from .netlist import Gate, Netlist, NetlistError, cone_extract
-from .engine import CompiledNetlist, get_compiled
+from .engine import CompiledNetlist, VariantFamily, VariantSpec, get_compiled
 from .simulate import (
     simulate,
     simulate_reference,
@@ -61,7 +61,7 @@ from .metrics import (
 __all__ = [
     "GateType", "evaluate", "check_arity",
     "Gate", "Netlist", "NetlistError", "cone_extract",
-    "CompiledNetlist", "get_compiled",
+    "CompiledNetlist", "VariantFamily", "VariantSpec", "get_compiled",
     "simulate", "simulate_reference",
     "output_values", "step_sequential", "run_sequential",
     "pack_patterns", "unpack_word", "random_stimulus",

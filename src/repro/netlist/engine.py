@@ -30,7 +30,9 @@ reference interpreter (property-tested in ``tests/test_engine.py``).
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union,
+)
 
 from .gates import GateType
 from .netlist import Netlist, NetlistError
@@ -73,6 +75,68 @@ _PROGRAM_MEMO: Dict[str, tuple] = {}
 _PROGRAM_MEMO_MAX = 64
 
 
+def _gate_expr(compiled: "CompiledNetlist", i: int, op: int, ref) -> str:
+    """Generated-source expression for gate ``i`` evaluated as ``op``.
+
+    Shared by the base program and the variant-family program (which
+    may evaluate a site under a *patched* opcode, hence the explicit
+    ``op``).  ``ref(j)`` renders a fanin reference.
+    """
+    fis = compiled.fanins[i]
+    if op == OP_INPUT:
+        return f"IN[{compiled._input_pos[compiled.names[i]]}] & mask"
+    if op == OP_DFF:
+        return f"ST[{compiled._flop_pos[compiled.names[i]]}] & mask"
+    if op == OP_CONST0:
+        return "0"
+    if op == OP_CONST1:
+        return "mask"
+    if op == OP_BUF:
+        return ref(fis[0])
+    if op == OP_NOT:
+        return f"~{ref(fis[0])} & mask"
+    if op == OP_AND:
+        return " & ".join(ref(fi) for fi in fis)
+    if op == OP_NAND:
+        return "~(" + " & ".join(ref(fi) for fi in fis) + ") & mask"
+    if op == OP_OR:
+        return " | ".join(ref(fi) for fi in fis)
+    if op == OP_NOR:
+        return "~(" + " | ".join(ref(fi) for fi in fis) + ") & mask"
+    if op == OP_XOR:
+        return " ^ ".join(ref(fi) for fi in fis)
+    if op == OP_XNOR:
+        return "~(" + " ^ ".join(ref(fi) for fi in fis) + ") & mask"
+    # OP_MUX: (select, data0, data1)
+    s, d0, d1 = (ref(fi) for fi in fis)
+    return f"(~{s} & {d0}) | ({s} & {d1})"
+
+
+def _compile_program(sources: Sequence[str]) -> tuple:
+    """Compile chunk sources to functions, memoized on the joined source.
+
+    The generated source is a complete structural signature and the
+    chunk functions close over nothing instance-specific, so
+    structurally identical netlists (benchmarks rebuild the same design
+    repeatedly) — and variant families with the same delta layout —
+    share one compiled program.
+    """
+    key = "\x00".join(sources)
+    cached = _PROGRAM_MEMO.get(key)
+    if cached is not None:
+        return cached
+    chunk_fns = []
+    for source in sources:
+        namespace: Dict[str, object] = {}
+        exec(compile(source, "<compiled-netlist>", "exec"), namespace)
+        chunk_fns.append(namespace["_c"])
+    program = tuple(chunk_fns)
+    if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_MAX:
+        _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
+    _PROGRAM_MEMO[key] = program
+    return program
+
+
 class CompiledNetlist:
     """A netlist lowered to a flat, integer-indexed gate program.
 
@@ -83,9 +147,13 @@ class CompiledNetlist:
 
     __slots__ = (
         "netlist", "names", "index", "input_names", "flop_names",
-        "opcodes", "fanins", "levels", "depth", "consumers",
+        "opcodes", "fanins", "levels", "depth", "consumers", "flop_src",
         "_topo_ref", "_input_pos", "_flop_pos", "_fn", "_evals",
+        "_family_seen", "_family_programs",
     )
+
+    #: Bound on the per-topology cache of compiled family programs.
+    _FAMILY_PROGRAM_MAX = 16
 
     def __init__(self, netlist: Netlist) -> None:
         order = netlist.topological_order()
@@ -119,6 +187,11 @@ class CompiledNetlist:
                 for fi in fis:
                     self.consumers[fi].append(i)
         self.depth = max(self.levels) if self.levels else 0
+        # D-pin source index per flop, for fast sequential stepping
+        # (:meth:`step_words`) without materializing name-keyed dicts.
+        self.flop_src: List[int] = [
+            self.index[gates[ff].fanins[0]] for ff in self.flop_names
+        ]
         # Code generation is lazy: the first evaluation runs over the
         # opcode arrays directly, and the straight-line program is only
         # generated and compiled from the second evaluation on.  Repeat
@@ -127,6 +200,13 @@ class CompiledNetlist:
         # DSE candidate scoring) never pay it.
         self._fn: Optional[tuple] = None
         self._evals = 0
+        # Variant-family state, scoped to this topology: delta layouts
+        # whose single interpreted warm-up has been spent, and compiled
+        # family programs keyed by layout, so a consumer that builds a
+        # fresh family per call (key sweeps, fault-campaign chunks)
+        # still reaches generated code from its second call on.
+        self._family_seen: set = set()
+        self._family_programs: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Code generation
@@ -167,62 +247,16 @@ class CompiledNetlist:
             lines = ["def _c(V, IN, ST, mask):"]
             for i in range(start, stop):
                 op = self.opcodes[i]
-                fis = self.fanins[i]
-                if op == OP_INPUT:
-                    expr = f"IN[{self._input_pos[self.names[i]]}] & mask"
-                elif op == OP_DFF:
-                    expr = f"ST[{self._flop_pos[self.names[i]]}] & mask"
-                elif op == OP_CONST0:
-                    expr = "0"
-                elif op == OP_CONST1:
-                    expr = "mask"
-                elif op == OP_BUF:
+                if op == OP_BUF:
                     continue
-                elif op == OP_NOT:
-                    expr = f"~{ref(fis[0])} & mask"
-                elif op == OP_AND:
-                    expr = " & ".join(ref(fi) for fi in fis)
-                elif op == OP_NAND:
-                    expr = ("~(" + " & ".join(ref(fi) for fi in fis)
-                            + ") & mask")
-                elif op == OP_OR:
-                    expr = " | ".join(ref(fi) for fi in fis)
-                elif op == OP_NOR:
-                    expr = ("~(" + " | ".join(ref(fi) for fi in fis)
-                            + ") & mask")
-                elif op == OP_XOR:
-                    expr = " ^ ".join(ref(fi) for fi in fis)
-                elif op == OP_XNOR:
-                    expr = ("~(" + " ^ ".join(ref(fi) for fi in fis)
-                            + ") & mask")
-                else:  # OP_MUX: (select, data0, data1)
-                    s, d0, d1 = (ref(fi) for fi in fis)
-                    expr = f"(~{s} & {d0}) | ({s} & {d1})"
-                lines.append(f"    v{i} = {expr}")
+                lines.append(f"    v{i} = {_gate_expr(self, i, op, ref)}")
             flush = ",".join(ref(i) for i in range(start, stop))
             lines.append(f"    V[{start}:{stop}] = [{flush}]")
             sources.append("\n".join(lines))
             start = stop
             if n == 0:
                 break
-        # The generated source is a complete structural signature and
-        # the chunk functions close over nothing instance-specific, so
-        # structurally identical netlists (benchmarks rebuild the same
-        # design repeatedly) share one compiled program.
-        key = "\x00".join(sources)
-        cached = _PROGRAM_MEMO.get(key)
-        if cached is not None:
-            return cached
-        chunk_fns = []
-        for source in sources:
-            namespace: Dict[str, object] = {}
-            exec(compile(source, "<compiled-netlist>", "exec"), namespace)
-            chunk_fns.append(namespace["_c"])
-        program = tuple(chunk_fns)
-        if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_MAX:
-            _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
-        _PROGRAM_MEMO[key] = program
-        return program
+        return _compile_program(sources)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -231,7 +265,6 @@ class CompiledNetlist:
     def eval_words(self, inputs: Mapping[str, int], width: int = 1,
                    state: Optional[Mapping[str, int]] = None) -> List[int]:
         """Packed value of every net, indexed like :attr:`names`."""
-        mask = (1 << width) - 1
         try:
             stim = [inputs[name] for name in self.input_names]
         except KeyError as missing:
@@ -241,6 +274,11 @@ class CompiledNetlist:
             regs = [state.get(ff, 0) for ff in self.flop_names]
         else:
             regs = [0] * len(self.flop_names)
+        return self._run(stim, regs, (1 << width) - 1)
+
+    def _run(self, stim: Sequence[int], regs: Sequence[int],
+             mask: int) -> List[int]:
+        """Evaluate with positional stimulus/state words (no name lookups)."""
         values: List[int] = [0] * len(self.names)
         if self._fn is None:
             if self._evals == 0:
@@ -251,6 +289,19 @@ class CompiledNetlist:
         for chunk in self._fn:
             chunk(values, stim, regs, mask)
         return values
+
+    def step_words(self, stim: Sequence[int], regs: Sequence[int],
+                   width: int = 1) -> Tuple[List[int], List[int]]:
+        """One clock edge on positional words: ``(values, next_regs)``.
+
+        ``stim`` is ordered like :attr:`input_names` and ``regs`` like
+        :attr:`flop_names`; the returned next-state list can be fed
+        straight back in.  This is the fast inner loop behind
+        sequential stepping (scan chains, AES datapath cycles) — no
+        name-keyed dicts are built per cycle.
+        """
+        values = self._run(stim, regs, (1 << width) - 1)
+        return values, [values[src] for src in self.flop_src]
 
     def _interpret(self, values: List[int], stim: Sequence[int],
                    regs: Sequence[int], mask: int) -> None:
@@ -277,9 +328,16 @@ class CompiledNetlist:
     # Incremental single-fault propagation
     # ------------------------------------------------------------------
 
-    def _eval_gate(self, i: int, value_of, mask: int) -> int:
-        """Interpreted evaluation of one gate (incremental path only)."""
-        op = self.opcodes[i]
+    def _eval_gate(self, i: int, value_of, mask: int,
+                   op: Optional[int] = None) -> int:
+        """Interpreted evaluation of one gate.
+
+        Used by the incremental (event-driven) path and, with an ``op``
+        override, by :class:`VariantFamily` when a site is evaluated
+        under a patched opcode.
+        """
+        if op is None:
+            op = self.opcodes[i]
         fis = self.fanins[i]
         if op == OP_BUF:
             return value_of(fis[0])
@@ -367,3 +425,431 @@ def get_compiled(netlist: Netlist) -> CompiledNetlist:
     compiled = CompiledNetlist(netlist)
     netlist._compiled = compiled
     return compiled
+
+
+# ----------------------------------------------------------------------
+# Batched multi-variant evaluation
+# ----------------------------------------------------------------------
+
+#: Opcodes that may not appear in an opcode delta (either side): their
+#: value comes from the stimulus, not from evaluating fanins.
+_UNPATCHABLE = (OP_INPUT, OP_DFF)
+
+
+class VariantSpec:
+    """Delta of one design variant against a shared base netlist.
+
+    ``inputs``  — input name -> packed word overriding the shared
+                  stimulus for this variant (locking-key values, share
+                  assignments); masked to the trace width at eval time.
+    ``forces``  — net name -> 0/1 stuck-at value.  Wins over ``flips``.
+    ``flips``   — net names whose computed value is inverted (the
+                  ``BIT_FLIP`` fault model).
+    ``opcodes`` — gate name -> :class:`GateType` the site evaluates as
+                  (patched cells, camouflage decoys); fanins unchanged.
+
+    Specs are value objects with a canonical JSON form
+    (:meth:`to_dict` / :meth:`from_dict`), so per-variant artifact-cache
+    keys hash identically whether a variant is scored serially or as
+    part of a batch.
+    """
+
+    __slots__ = ("inputs", "forces", "flips", "opcodes")
+
+    def __init__(self, inputs: Optional[Mapping[str, int]] = None,
+                 forces: Optional[Mapping[str, int]] = None,
+                 flips: Iterable[str] = (),
+                 opcodes: Optional[Mapping[str, Union[str, GateType]]] = None,
+                 ) -> None:
+        self.inputs: Dict[str, int] = {
+            str(k): int(v) for k, v in dict(inputs or {}).items()}
+        self.forces: Dict[str, int] = {
+            str(k): (1 if v else 0) for k, v in dict(forces or {}).items()}
+        self.flips: frozenset = frozenset(str(f) for f in flips)
+        self.opcodes: Dict[str, GateType] = {
+            str(k): (GateType[v] if isinstance(v, str) else GateType(v))
+            for k, v in dict(opcodes or {}).items()}
+
+    def is_identity(self) -> bool:
+        """True for the no-delta variant (the base design itself)."""
+        return not (self.inputs or self.forces or self.flips
+                    or self.opcodes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical, JSON-able form; stable under round trips."""
+        return {
+            "inputs": {k: self.inputs[k] for k in sorted(self.inputs)},
+            "forces": {k: self.forces[k] for k in sorted(self.forces)},
+            "flips": sorted(self.flips),
+            "opcodes": {k: self.opcodes[k].name
+                        for k in sorted(self.opcodes)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "VariantSpec":
+        return cls(inputs=data.get("inputs"),
+                   forces=data.get("forces"),
+                   flips=data.get("flips", ()),
+                   opcodes=data.get("opcodes"))
+
+
+class VariantFamily:
+    """Many variants of one netlist, evaluated in a single packed pass.
+
+    The base netlist is lowered **once** (through the ordinary
+    :func:`get_compiled` cache) and the per-variant deltas are carried
+    as extra bit-planes: with ``V`` variants at ``traces`` patterns
+    each, every net holds a ``V * traces``-bit word in which variant
+    ``v`` owns bits ``[v*traces, (v+1)*traces)``.  Shared stimulus is
+    replicated into every slice with one multiply; input overrides,
+    stuck-at forces, bit-flips and patched opcodes apply only inside
+    their variant's slice.  One sweep therefore scores the whole
+    family instead of ``V`` compile+simulate round trips, and the
+    result of each slice is bit-identical to simulating that variant
+    alone at width ``traces``.
+
+    Structural deltas are compiled in: the generated program embeds
+    *plane indices* (part of the program-memo key) while plane *values*
+    are passed at call time, so families with the same delta layout
+    share one compiled program across trace widths.
+    """
+
+    __slots__ = (
+        "netlist", "variants", "_compiled", "_input_over", "_force_ix",
+        "_flip_ix", "_alt_ix", "_plane_specs", "_planes_cache",
+        "_layout", "_fn", "_evals",
+    )
+
+    #: Bound on the per-family ``traces -> plane values`` cache.
+    _PLANES_CACHE_MAX = 8
+
+    def __init__(self, netlist: Netlist,
+                 variants: Iterable[Union[VariantSpec, Mapping]]) -> None:
+        specs: List[VariantSpec] = [
+            v if isinstance(v, VariantSpec) else VariantSpec.from_dict(v)
+            for v in variants
+        ]
+        if not specs:
+            raise NetlistError("a VariantFamily needs at least one variant")
+        self.netlist = netlist
+        self.variants = specs
+        self._bind(get_compiled(netlist))
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    # ------------------------------------------------------------------
+    # Delta-plane layout
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _site(index: Mapping[str, int], name: str) -> int:
+        try:
+            return index[name]
+        except KeyError:
+            raise NetlistError(
+                f"variant delta names unknown net {name!r}") from None
+
+    def _bind(self, compiled: CompiledNetlist) -> None:
+        """(Re)build the delta-plane layout against a compiled base.
+
+        Called at construction and again whenever the base netlist has
+        been structurally mutated since (net indices may have moved).
+        """
+        self._compiled = compiled
+        self._planes_cache: Dict[int, tuple] = {}
+        self._fn = None
+        self._evals = 0
+        index = compiled.index
+        opcodes = compiled.opcodes
+
+        plane_specs: List[Tuple[bool, Tuple[int, ...]]] = []
+        memo: Dict[Tuple[bool, Tuple[int, ...]], int] = {}
+
+        def plane(variant_ids, invert: bool = False) -> int:
+            key = (invert, tuple(sorted(variant_ids)))
+            ix = memo.get(key)
+            if ix is None:
+                ix = memo[key] = len(plane_specs)
+                plane_specs.append(key)
+            return ix
+
+        input_over: Dict[str, Dict[int, int]] = {}
+        forces0: Dict[int, List[int]] = {}
+        forces1: Dict[int, List[int]] = {}
+        flips: Dict[int, List[int]] = {}
+        alts: Dict[int, Dict[int, List[int]]] = {}
+        for v, spec in enumerate(self.variants):
+            for name, word in spec.inputs.items():
+                if name not in compiled._input_pos:
+                    raise NetlistError(
+                        f"variant override target {name!r} is not an input")
+                input_over.setdefault(name, {})[v] = word
+            for name, val in spec.forces.items():
+                site = self._site(index, name)
+                (forces1 if val else forces0).setdefault(site, []).append(v)
+            for name in spec.flips:
+                flips.setdefault(self._site(index, name), []).append(v)
+            for name, gate_type in spec.opcodes.items():
+                site = self._site(index, name)
+                op = _OPCODE[gate_type]
+                if opcodes[site] in _UNPATCHABLE or op in _UNPATCHABLE:
+                    raise NetlistError(
+                        f"cannot patch opcode at {name!r}: INPUT/DFF "
+                        "sites are stimulus-driven")
+                n_fanins = len(compiled.fanins[site])
+                if op == OP_MUX and n_fanins != 3:
+                    raise NetlistError(
+                        f"MUX patch at {name!r} needs 3 fanins, "
+                        f"site has {n_fanins}")
+                if op not in (OP_CONST0, OP_CONST1) and n_fanins < 1:
+                    raise NetlistError(
+                        f"opcode patch at {name!r} needs a fanin")
+                if op == opcodes[site]:
+                    continue  # patching to the base type is a no-op
+                alts.setdefault(site, {}).setdefault(op, []).append(v)
+
+        # site -> (keep-plane, set-plane): new = (v & keep) | set
+        self._force_ix: Dict[int, Tuple[int, int]] = {}
+        for site in sorted(set(forces0) | set(forces1)):
+            affected = forces0.get(site, []) + forces1.get(site, [])
+            self._force_ix[site] = (plane(affected, invert=True),
+                                    plane(forces1.get(site, [])))
+        # site -> xor-plane
+        self._flip_ix: Dict[int, int] = {
+            site: plane(variant_ids)
+            for site, variant_ids in sorted(flips.items())
+        }
+        # site -> (base-keep-plane, ((opcode, select-plane), ...))
+        self._alt_ix: Dict[int, Tuple[int, tuple]] = {}
+        for site in sorted(alts):
+            by_op = alts[site]
+            patched = [v for vs in by_op.values() for v in vs]
+            base_ix = plane(patched, invert=True)
+            entries = tuple(sorted(
+                (op, plane(vs)) for op, vs in by_op.items()))
+            self._alt_ix[site] = (base_ix, entries)
+        self._plane_specs = plane_specs
+        self._input_over = input_over
+        # The generated program depends only on which plane index wraps
+        # which site (values arrive at call time), so this key
+        # identifies the program across family instances on one
+        # topology — input-override-only families all share the empty
+        # layout, and repeated sweeps reuse one compiled program.
+        self._layout = (
+            tuple(sorted(self._force_ix.items())),
+            tuple(sorted(self._flip_ix.items())),
+            tuple(sorted(self._alt_ix.items())),
+        )
+
+    def _planes_for(self, traces: int) -> tuple:
+        """``(rep, tmask, full, D)`` for a given per-variant width."""
+        cached = self._planes_cache.get(traces)
+        if cached is not None:
+            return cached
+        n_variants = len(self.variants)
+        tmask = (1 << traces) - 1
+        full = (1 << (n_variants * traces)) - 1
+        rep = 0
+        for v in range(n_variants):
+            rep |= 1 << (v * traces)
+        planes: List[int] = []
+        for invert, variant_ids in self._plane_specs:
+            word = 0
+            for v in variant_ids:
+                word |= tmask << (v * traces)
+            planes.append(full ^ word if invert else word)
+        entry = (rep, tmask, full, planes)
+        if len(self._planes_cache) >= self._PLANES_CACHE_MAX:
+            self._planes_cache.pop(next(iter(self._planes_cache)))
+        self._planes_cache[traces] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def eval_words(self, inputs: Mapping[str, int], traces: int = 1,
+                   state: Optional[Mapping[str, int]] = None,
+                   per_variant_inputs: Optional[
+                       Mapping[str, Sequence[int]]] = None) -> List[int]:
+        """Packed value of every net across all variants.
+
+        ``inputs``/``state`` carry shared ``traces``-bit stimulus words,
+        replicated into every variant's slice; ``per_variant_inputs``
+        maps an input name to one ``traces``-bit word per variant.  An
+        input may be omitted from ``inputs`` only if every variant
+        overrides it.  The result is indexed like the base program's
+        ``names``; use :meth:`split_word` to recover per-variant words.
+        """
+        compiled = get_compiled(self.netlist)
+        if compiled is not self._compiled:
+            self._bind(compiled)
+        n_variants = len(self.variants)
+        rep, tmask, full, planes = self._planes_for(traces)
+        stim: List[int] = []
+        for name in compiled.input_names:
+            over = self._input_over.get(name)
+            pv = (per_variant_inputs.get(name)
+                  if per_variant_inputs else None)
+            if over is None and pv is None:
+                try:
+                    base = inputs[name]
+                except KeyError:
+                    raise NetlistError(
+                        f"missing stimulus for input {name!r}") from None
+                stim.append((base & tmask) * rep)
+                continue
+            shared = inputs.get(name)
+            if pv is not None and traces & 7 == 0:
+                # Byte-wise assembly: one join instead of V shift-ORs
+                # into an ever-growing accumulator (the loop below is
+                # quadratic in the variant count).
+                if len(pv) != n_variants:
+                    raise NetlistError(
+                        f"per-variant stimulus for input {name!r} has "
+                        f"{len(pv)} words for {n_variants} variants")
+                n_bytes = traces >> 3
+                encoded: Dict[int, bytes] = {}
+                parts: List[bytes] = []
+                for value in pv:
+                    part = encoded.get(value)
+                    if part is None:
+                        part = encoded[value] = (
+                            int(value) & tmask).to_bytes(n_bytes, "little")
+                    parts.append(part)
+                stim.append(int.from_bytes(b"".join(parts), "little"))
+                continue
+            word = 0
+            for v in range(n_variants):
+                value = pv[v] if pv is not None else over.get(v, shared)
+                if value is None:
+                    raise NetlistError(
+                        f"missing stimulus for input {name!r} "
+                        f"(no override in variant {v})")
+                word |= (int(value) & tmask) << (v * traces)
+            stim.append(word)
+        if state:
+            regs = [(state.get(ff, 0) & tmask) * rep
+                    for ff in compiled.flop_names]
+        else:
+            regs = [0] * len(compiled.flop_names)
+        values: List[int] = [0] * len(compiled.names)
+        if self._fn is None:
+            program = compiled._family_programs.get(self._layout)
+            if program is not None:
+                self._fn = program
+            elif self._evals == 0 and self._layout not in compiled._family_seen:
+                # First-ever evaluation of this delta layout on this
+                # topology: interpret once.  Single-shot families (one
+                # fault-campaign chunk) never pay codegen; repeat
+                # layouts graduate to a shared compiled program below.
+                compiled._family_seen.add(self._layout)
+                self._evals = 1
+                self._interpret(values, stim, regs, full, planes)
+                return values
+            else:
+                self._fn = self._codegen()
+                if len(compiled._family_programs) >= compiled._FAMILY_PROGRAM_MAX:
+                    compiled._family_programs.pop(
+                        next(iter(compiled._family_programs)))
+                compiled._family_programs[self._layout] = self._fn
+        for chunk in self._fn:
+            chunk(values, stim, regs, full, planes)
+        return values
+
+    def split_word(self, word: int, traces: int) -> List[int]:
+        """Per-variant ``traces``-bit words of one packed value."""
+        tmask = (1 << traces) - 1
+        return [(word >> (v * traces)) & tmask
+                for v in range(len(self.variants))]
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+
+    def _codegen(self):
+        """Chunked straight-line program with per-site delta wrapping.
+
+        Identical to the base program except at delta sites, where the
+        generated expression selects among patched opcodes and applies
+        flip/force planes from the runtime list ``D``.  Delta order at
+        one site: opcode select, then flip, then force (force wins).
+        BUF aliasing stops at delta sites so their planes apply exactly
+        once.
+        """
+        c = self._compiled
+        n = len(c.names)
+        delta = set(self._force_ix) | set(self._flip_ix) | set(self._alt_ix)
+        root = list(range(n))
+        for i, op in enumerate(c.opcodes):
+            if op == OP_BUF and i not in delta:
+                root[i] = root[c.fanins[i][0]]
+
+        sources = []
+        start = 0
+        while start < n or (n == 0 and start == 0):
+            stop = min(n, start + c.CHUNK_STATEMENTS)
+
+            def ref(j: int, _start=start) -> str:
+                r = root[j]
+                return f"v{r}" if r >= _start else f"V[{r}]"
+
+            lines = ["def _c(V, IN, ST, mask, D):"]
+            for i in range(start, stop):
+                op = c.opcodes[i]
+                if op == OP_BUF and i not in delta:
+                    continue
+                alt = self._alt_ix.get(i)
+                if alt is None:
+                    expr = _gate_expr(c, i, op, ref)
+                else:
+                    base_ix, entries = alt
+                    parts = [f"({_gate_expr(c, i, op, ref)}) & D[{base_ix}]"]
+                    parts.extend(
+                        f"({_gate_expr(c, i, alt_op, ref)}) & D[{mix}]"
+                        for alt_op, mix in entries)
+                    expr = " | ".join(parts)
+                flip = self._flip_ix.get(i)
+                if flip is not None:
+                    expr = f"({expr}) ^ D[{flip}]"
+                force = self._force_ix.get(i)
+                if force is not None:
+                    expr = f"(({expr}) & D[{force[0]}]) | D[{force[1]}]"
+                lines.append(f"    v{i} = {expr}")
+            flush = ",".join(ref(i) for i in range(start, stop))
+            lines.append(f"    V[{start}:{stop}] = [{flush}]")
+            sources.append("\n".join(lines))
+            start = stop
+            if n == 0:
+                break
+        return _compile_program(sources)
+
+    def _interpret(self, values: List[int], stim: Sequence[int],
+                   regs: Sequence[int], mask: int,
+                   planes: Sequence[int]) -> None:
+        """First-evaluation path straight off the opcode arrays."""
+        c = self._compiled
+        value_of = values.__getitem__
+        for i, op in enumerate(c.opcodes):
+            if op == OP_INPUT:
+                value = stim[c._input_pos[c.names[i]]] & mask
+            elif op == OP_DFF:
+                value = regs[c._flop_pos[c.names[i]]] & mask
+            else:
+                alt = self._alt_ix.get(i)
+                if alt is None:
+                    value = c._eval_gate(i, value_of, mask)
+                else:
+                    base_ix, entries = alt
+                    value = c._eval_gate(i, value_of, mask) & planes[base_ix]
+                    for alt_op, mix in entries:
+                        value |= (c._eval_gate(i, value_of, mask, alt_op)
+                                  & planes[mix])
+            flip = self._flip_ix.get(i)
+            if flip is not None:
+                value ^= planes[flip]
+            force = self._force_ix.get(i)
+            if force is not None:
+                value = (value & planes[force[0]]) | planes[force[1]]
+            values[i] = value

@@ -2,10 +2,13 @@
 
 from .power_model import (
     HW8,
+    family_leakage_traces,
+    family_net_bit_matrix,
     hamming_weight,
     hd_model,
     intermediate_value_trace,
     leakage_traces,
+    popcounts,
     signal_to_noise_ratio,
 )
 from .tvla import TVLA_THRESHOLD, TvlaResult, tvla, tvla_sweep, welch_t
@@ -46,8 +49,9 @@ from .localize import (
 )
 
 __all__ = [
-    "HW8", "hamming_weight", "hd_model", "intermediate_value_trace",
-    "leakage_traces", "signal_to_noise_ratio",
+    "HW8", "family_leakage_traces", "family_net_bit_matrix",
+    "hamming_weight", "hd_model", "intermediate_value_trace",
+    "leakage_traces", "popcounts", "signal_to_noise_ratio",
     "TVLA_THRESHOLD", "TvlaResult", "tvla", "tvla_sweep", "welch_t",
     "CpaResult", "aes_sbox_hypothesis", "cpa_attack", "traces_to_disclosure",
     "GadgetTrace", "decode_shares", "encode_shares", "isw_and",

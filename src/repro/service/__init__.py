@@ -27,6 +27,7 @@ from .jobs import (
     JobContext,
     JobSpec,
     JobType,
+    evaluate_variants,
     job_function,
     register_job_type,
     registered_job_types,
@@ -50,17 +51,18 @@ from .campaigns import (
     composition_matrix_campaign,
     locking_sweep_campaign,
     security_closure_campaign,
+    variant_sweep_campaign,
 )
 
 __all__ = [
     "ArtifactStore", "result_key",
     "RunDatabase", "RunRecord", "render_records",
-    "JobContext", "JobSpec", "JobType", "job_function",
-    "register_job_type", "registered_job_types", "run_job",
+    "JobContext", "JobSpec", "JobType", "evaluate_variants",
+    "job_function", "register_job_type", "registered_job_types", "run_job",
     "Job", "Scheduler", "SchedulerError",
     "PENDING", "RUNNING", "SUCCEEDED", "FAILED", "TIMEOUT",
     "CANCELLED", "SKIPPED",
     "DEFAULT_STACKS", "CampaignError",
     "composition_matrix_campaign", "locking_sweep_campaign",
-    "security_closure_campaign",
+    "security_closure_campaign", "variant_sweep_campaign",
 ]

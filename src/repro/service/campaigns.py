@@ -143,6 +143,79 @@ def security_closure_campaign(netlists: Sequence[Netlist],
             for name, job_id in job_ids.items()}
 
 
+def variant_sweep_campaign(netlist: Netlist,
+                           variants: Sequence[object],
+                           n_vectors: int = 64,
+                           seed: int = 0,
+                           workers: int = 0,
+                           store: Optional[ArtifactStore] = None,
+                           rundb: Optional[RunDatabase] = None,
+                           timeout: Optional[float] = None,
+                           retries: int = 1,
+                           batch: bool = True) -> List[Dict[str, object]]:
+    """Score a family of design variants through the service.
+
+    Every variant's artifact-cache key is its individual
+    ``variant-eval`` spec hash — batching is an execution detail, not
+    part of the addressed computation.  The campaign first serves
+    variants already cached (whether an earlier run scored them
+    serially or batched), then submits only the misses: one
+    ``variant-batch`` job covering all of them when ``batch`` is true
+    (the job publishes each per-variant result under its
+    ``variant-eval`` hash), or one ``variant-eval`` job per variant
+    otherwise.  Results come back in variant order and are
+    bit-identical across strategies, worker counts, and cache states.
+
+    ``variants`` may hold :class:`~repro.netlist.VariantSpec` objects
+    or their dict form.
+    """
+    from ..netlist import VariantSpec
+
+    store = _campaign_store(store)
+    input_hash = store.put_netlist(netlist)
+    canonical = [
+        (v if isinstance(v, VariantSpec)
+         else VariantSpec.from_dict(v)).to_dict()
+        for v in variants
+    ]
+    eval_specs = [
+        JobSpec("variant-eval",
+                params={"netlist": input_hash, "variant": variant,
+                        "n_vectors": int(n_vectors)},
+                seed=seed, timeout=timeout, retries=retries)
+        for variant in canonical
+    ]
+    results: List[Optional[Dict[str, object]]] = [None] * len(canonical)
+    misses = []
+    for i, spec in enumerate(eval_specs):
+        payload = store.get(spec.spec_hash)
+        if isinstance(payload, dict) and "result" in payload:
+            results[i] = payload["result"]
+        else:
+            misses.append(i)
+    if misses:
+        scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+        if batch and len(misses) > 1:
+            spec = JobSpec(
+                "variant-batch",
+                params={"netlist": input_hash,
+                        "variants": [canonical[i] for i in misses],
+                        "n_vectors": int(n_vectors)},
+                seed=seed, timeout=timeout, retries=retries)
+            job_id = scheduler.submit(spec)
+            jobs = scheduler.run()
+            _raise_on_failures(jobs, "variant sweep")
+            for i, result in zip(misses, jobs[job_id].result["results"]):
+                results[i] = result
+        else:
+            job_ids = {i: scheduler.submit(eval_specs[i]) for i in misses}
+            jobs = scheduler.run()
+            _raise_on_failures(jobs, "variant sweep")
+            for i, job_id in job_ids.items():
+                results[i] = jobs[job_id].result
+    return results
+
+
 #: The cross-effect matrix evaluated by the composition benchmarks.
 DEFAULT_STACKS: Dict[str, List[str]] = {
     "duplication": ["duplication"],

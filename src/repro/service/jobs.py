@@ -349,6 +349,113 @@ def _closure_job(params: Dict[str, object], ctx: JobContext):
     return doc
 
 
+def evaluate_variants(netlist, variants, n_vectors: int = 64,
+                      seed: int = 0):
+    """Score a family of variant specs on shared seeded random vectors.
+
+    The per-variant kernel behind the ``variant-eval`` and
+    ``variant-batch`` job types.  The stimulus depends only on
+    ``(netlist, n_vectors, seed)`` and each variant's packed slice is
+    bit-identical to evaluating that variant alone, so a variant's
+    result is a pure function of ``(netlist, variant, n_vectors,
+    seed)`` — batching is invisible to the artifact cache.  Returns one
+    JSON-able dict per variant: hex-packed output words, the vector
+    count, and a stable digest of the outputs.
+    """
+    import random
+
+    from ..netlist import (
+        VariantFamily, VariantSpec, get_compiled, random_stimulus,
+    )
+
+    specs = [v if isinstance(v, VariantSpec) else VariantSpec.from_dict(v)
+             for v in variants]
+    rng = random.Random(seed)
+    stimulus = random_stimulus(netlist.inputs, n_vectors, rng)
+    family = VariantFamily(netlist, specs)
+    words = family.eval_words(stimulus, n_vectors)
+    compiled = get_compiled(netlist)
+    mask = (1 << n_vectors) - 1
+    results = []
+    for v in range(len(specs)):
+        shift = v * n_vectors
+        outputs = {
+            o: hex((words[compiled.index[o]] >> shift) & mask)
+            for o in netlist.outputs
+        }
+        results.append({
+            "outputs": outputs,
+            "n_vectors": n_vectors,
+            "digest": stable_hash(outputs),
+        })
+    return results
+
+
+@register_job_type("variant-eval", sample_params={
+    "netlist": "0" * 64,
+    "variant": {"inputs": {}, "forces": {}, "flips": ["g0"],
+                "opcodes": {}},
+    "n_vectors": 16})
+def _variant_eval_job(params: Dict[str, object], ctx: JobContext):
+    """Score one design variant on seeded random vectors.
+
+    The cache unit of a variant sweep: the spec hash covers (netlist
+    digest, canonical variant delta, vector count, seed).  A
+    ``variant-batch`` job publishes its per-variant results under these
+    exact spec hashes, so serial and batched executions interleave in
+    the artifact cache bit-identically.
+    """
+    netlist = ctx.store.get_netlist(str(params["netlist"]))
+    if netlist is None:
+        raise RuntimeError(
+            f"input netlist {params['netlist']!r} not in store")
+    return evaluate_variants(
+        netlist, [params["variant"]],
+        n_vectors=int(params.get("n_vectors", 64)), seed=ctx.seed)[0]
+
+
+@register_job_type("variant-batch", sample_params={
+    "netlist": "0" * 64,
+    "variants": [{"inputs": {}, "forces": {}, "flips": ["g0"],
+                  "opcodes": {}}],
+    "n_vectors": 16})
+def _variant_batch_job(params: Dict[str, object], ctx: JobContext):
+    """Score a whole variant family in one batched evaluation.
+
+    The execution detail behind
+    :func:`repro.service.variant_sweep_campaign`: all variants share
+    one lowering of the stored netlist
+    (:class:`~repro.netlist.VariantFamily`), and each per-variant
+    result is also published to the store under the spec hash of the
+    equivalent ``variant-eval`` job — later per-variant resubmissions
+    are pure cache hits.
+    """
+    from ..netlist import VariantSpec
+
+    netlist_digest = str(params["netlist"])
+    netlist = ctx.store.get_netlist(netlist_digest)
+    if netlist is None:
+        raise RuntimeError(f"input netlist {netlist_digest!r} not in store")
+    n_vectors = int(params.get("n_vectors", 64))
+    canonical = [VariantSpec.from_dict(v).to_dict()
+                 for v in params["variants"]]
+    results = evaluate_variants(netlist, canonical,
+                                n_vectors=n_vectors, seed=ctx.seed)
+    variant_hashes = []
+    for variant, result in zip(canonical, results):
+        eval_spec = JobSpec(
+            "variant-eval",
+            params={"netlist": netlist_digest, "variant": variant,
+                    "n_vectors": n_vectors},
+            seed=ctx.seed)
+        ctx.store.put(eval_spec.spec_hash,
+                      {"result": result,
+                       "job_type": "variant-eval",
+                       "seed": ctx.seed})
+        variant_hashes.append(eval_spec.spec_hash)
+    return {"results": results, "variant_hashes": variant_hashes}
+
+
 @register_job_type("pass-pipeline", sample_params={
     "netlist": "0" * 64,
     "passes": [["synthesis", {}]]})

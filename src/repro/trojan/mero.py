@@ -64,6 +64,11 @@ def generate_mero_tests(netlist: Netlist,
         if t[2] >= min_rareness
     ]
     inputs = netlist.inputs
+    compiled = get_compiled(netlist)
+    target_indices = [
+        (compiled.index[net], net, rare_value)
+        for net, rare_value, _ in targets
+    ]
     detect_counts: Dict[Tuple[str, int], int] = {}
     kept_vectors: List[Dict[str, int]] = []
 
@@ -73,6 +78,30 @@ def generate_mero_tests(netlist: Netlist,
             (net, rare_value) for net, rare_value, _ in targets
             if values[net] == rare_value
         }
+
+    def flip_batch_hits(vector: Dict[str, int],
+                        flip_bits: Sequence[str],
+                        ) -> List[Set[Tuple[str, int]]]:
+        """Hit set of every one-bit-flip neighbor in one packed pass."""
+        neighbors = []
+        for bit in flip_bits:
+            neighbor = dict(vector)
+            neighbor[bit] ^= 1
+            neighbors.append(neighbor)
+        width = len(neighbors)
+        stimulus = pack_patterns(neighbors, compiled.input_names)
+        words = compiled.eval_words(stimulus, width)
+        full = (1 << width) - 1
+        hit_sets: List[Set[Tuple[str, int]]] = [set() for _ in neighbors]
+        for index, net, rare_value in target_indices:
+            word = words[index]
+            if not rare_value:
+                word = ~word & full
+            while word:
+                low = word & -word
+                hit_sets[low.bit_length() - 1].add((net, rare_value))
+                word ^= low
+        return hit_sets
 
     def quota_gain(hits: Set[Tuple[str, int]]) -> int:
         return sum(
@@ -86,15 +115,29 @@ def generate_mero_tests(netlist: Netlist,
         improved = True
         while improved:
             improved = False
-            for bit in rng.sample(inputs, len(inputs)):
-                vector[bit] ^= 1
-                new_hits = rare_hits(vector)
-                new_gain = quota_gain(new_hits)
-                if new_gain > gain:
-                    gain, hits = new_gain, new_hits
-                    improved = True
-                else:
-                    vector[bit] ^= 1  # revert
+            # One packed evaluation scores every remaining single-bit
+            # neighbor; on acceptance the later neighbors are stale
+            # (they were flipped off the pre-acceptance vector), so the
+            # walk resumes from the next bit with a fresh batch.  The
+            # accept/reject decisions are exactly the serial
+            # flip-evaluate-revert loop's.
+            order = rng.sample(inputs, len(inputs))
+            pos = 0
+            while pos < len(order):
+                batch = order[pos:]
+                hit_sets = flip_batch_hits(vector, batch)
+                accepted = None
+                for k, new_hits in enumerate(hit_sets):
+                    new_gain = quota_gain(new_hits)
+                    if new_gain > gain:
+                        accepted = k
+                        gain, hits = new_gain, new_hits
+                        break
+                if accepted is None:
+                    break
+                vector[batch[accepted]] ^= 1
+                improved = True
+                pos += accepted + 1
         if gain > 0:
             kept_vectors.append(dict(vector))
             for key in hits:

@@ -1,0 +1,359 @@
+"""Property tests for batched multi-variant evaluation.
+
+A :class:`~repro.netlist.VariantFamily` lowers the base netlist once
+and scores every variant in one packed pass; the contract is that each
+variant's slice is **bit-identical** to evaluating that variant alone.
+The executable specification here is a dict-based reference
+interpreter, written independently of the engine, that applies one
+variant's deltas (input overrides, stuck-at forces, bit flips, patched
+opcodes) while walking the netlist in topological order.
+
+The same bit-exactness is asserted one level up for the ported
+consumers: fault campaigns (batched vs serial strategy), leakage
+traces / TVLA verdicts (family vs per-variant simulation), and the
+service layer's per-variant artifact-cache keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fia import FaultKind, enumerate_faults, fault_campaign
+from repro.netlist import (
+    GateType,
+    Netlist,
+    VariantFamily,
+    VariantSpec,
+    get_compiled,
+)
+from repro.netlist.generators import c17
+from repro.sca import family_leakage_traces, leakage_traces, tvla
+
+_VARIADIC = (
+    GateType.AND, GateType.NAND, GateType.OR,
+    GateType.NOR, GateType.XOR, GateType.XNOR,
+)
+_UNARY = (GateType.BUF, GateType.NOT)
+_NULLARY = (GateType.CONST0, GateType.CONST1)
+
+
+# ----------------------------------------------------------------------
+# Reference semantics
+# ----------------------------------------------------------------------
+
+def _reference_gate(kind: GateType, fan, mask: int) -> int:
+    """Packed value of one gate under the documented op semantics."""
+    if kind is GateType.CONST0:
+        return 0
+    if kind is GateType.CONST1:
+        return mask
+    if kind is GateType.BUF:
+        return fan[0]
+    if kind is GateType.NOT:
+        return ~fan[0] & mask
+    if kind is GateType.MUX:
+        s, d0, d1 = fan
+        return (~s & d0) | (s & d1)
+    word = fan[0]
+    if kind in (GateType.AND, GateType.NAND):
+        for f in fan[1:]:
+            word &= f
+    elif kind in (GateType.OR, GateType.NOR):
+        for f in fan[1:]:
+            word |= f
+    else:  # XOR / XNOR
+        for f in fan[1:]:
+            word ^= f
+    if kind in (GateType.NAND, GateType.NOR, GateType.XNOR):
+        word = ~word & mask
+    return word
+
+
+def reference_eval(netlist: Netlist, spec: VariantSpec, stimulus,
+                   width: int, state=None):
+    """Serial single-variant evaluation: the executable specification.
+
+    Delta order at a site is opcode-select, then flip, then force
+    (force wins) — matching the engine's documented lowering.
+    """
+    mask = (1 << width) - 1
+    state = state or {}
+    values = {}
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            word = int(spec.inputs.get(name, stimulus[name])) & mask
+        elif gate.gate_type is GateType.DFF:
+            word = state.get(name, 0) & mask
+        else:
+            kind = spec.opcodes.get(name, gate.gate_type)
+            fan = [values[f] for f in gate.fanins]
+            word = _reference_gate(kind, fan, mask)
+        if name in spec.flips:
+            word ^= mask
+        if name in spec.forces:
+            word = mask if spec.forces[name] else 0
+        values[name] = word
+    return values
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def combinational_netlists(draw) -> Netlist:
+    """Random combinational DAG over every gate type (incl. MUX/CONST)."""
+    n_inputs = draw(st.integers(min_value=1, max_value=5))
+    n = Netlist("variant_comb")
+    nets = [n.add_input(f"in{i}") for i in range(n_inputs)]
+    n_gates = draw(st.integers(min_value=1, max_value=25))
+    for k in range(n_gates):
+        kind = draw(st.sampled_from(
+            _VARIADIC + _UNARY + _NULLARY + (GateType.MUX,)))
+        if kind in _NULLARY:
+            fanins = []
+        elif kind in _UNARY:
+            fanins = [draw(st.sampled_from(nets))]
+        elif kind is GateType.MUX:
+            fanins = [draw(st.sampled_from(nets)) for _ in range(3)]
+        else:
+            arity = draw(st.integers(min_value=2, max_value=4))
+            fanins = [draw(st.sampled_from(nets)) for _ in range(arity)]
+        nets.append(n.add_gate(f"g{k}", kind, fanins))
+    n.add_output(nets[-1])
+    return n
+
+
+@st.composite
+def sequential_netlists(draw) -> Netlist:
+    """Random netlist with DFFs feeding back into the logic."""
+    n = draw(combinational_netlists())
+    gate_nets = list(n.gates)
+    n_flops = draw(st.integers(min_value=1, max_value=3))
+    flop_outputs = []
+    for k in range(n_flops):
+        flop_outputs.append(n.add_gate(f"ff{k}", GateType.DFF, [f"d{k}"]))
+    for k, ff in enumerate(flop_outputs):
+        other = draw(st.sampled_from(gate_nets))
+        mixed = n.add_gate(f"mix{k}", GateType.XOR, [ff, other])
+        n.add_gate(f"d{k}", GateType.BUF,
+                   [draw(st.sampled_from(gate_nets + [mixed]))])
+        n.add_output(mixed)
+    return n
+
+
+def _draw_spec(draw, netlist: Netlist, width: int) -> VariantSpec:
+    """One random variant delta legal for ``netlist``."""
+    names = list(netlist.gates)
+    inputs = {}
+    for name in draw(st.lists(st.sampled_from(netlist.inputs),
+                              max_size=2, unique=True)):
+        inputs[name] = draw(st.integers(0, (1 << width) - 1))
+    forces = {}
+    for name in draw(st.lists(st.sampled_from(names),
+                              max_size=2, unique=True)):
+        forces[name] = draw(st.integers(0, 1))
+    flips = draw(st.lists(st.sampled_from(names), max_size=2, unique=True))
+    opcodes = {}
+    patchable = [
+        name for name in names
+        if netlist.gates[name].gate_type not in (GateType.INPUT,
+                                                 GateType.DFF)
+    ]
+    if patchable:
+        for name in draw(st.lists(st.sampled_from(patchable),
+                                  max_size=2, unique=True)):
+            arity = len(netlist.gates[name].fanins)
+            candidates = list(_NULLARY)
+            if arity >= 1:
+                candidates += list(_UNARY) + list(_VARIADIC)
+            if arity == 3:
+                candidates.append(GateType.MUX)
+            opcodes[name] = draw(st.sampled_from(candidates))
+    return VariantSpec(inputs=inputs, forces=forces, flips=flips,
+                       opcodes=opcodes)
+
+
+def _stimulus(draw, names, width):
+    return {
+        name: draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        for name in names
+    }
+
+
+# ----------------------------------------------------------------------
+# Engine-level bit-exactness
+# ----------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_family_matches_reference_combinational(data):
+    netlist = data.draw(combinational_netlists())
+    width = data.draw(st.integers(min_value=1, max_value=48))
+    n_variants = data.draw(st.integers(min_value=1, max_value=5))
+    specs = [VariantSpec()] + [
+        _draw_spec(data.draw, netlist, width) for _ in range(n_variants - 1)
+    ]
+    stimulus = _stimulus(data.draw, netlist.inputs, width)
+    family = VariantFamily(netlist, specs)
+    # Both execution strategies: first call interprets, second runs the
+    # generated program; each must match the reference slice-for-slice.
+    for _ in range(2):
+        words = family.eval_words(stimulus, width)
+        for v, spec in enumerate(specs):
+            want = reference_eval(netlist, spec, stimulus, width)
+            for name, index in get_compiled(netlist).index.items():
+                got = family.split_word(words[index], width)[v]
+                assert got == want[name], (
+                    f"variant {v}, net {name}: {got:#x} != {want[name]:#x}")
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_family_matches_reference_sequential(data):
+    netlist = data.draw(sequential_netlists())
+    width = data.draw(st.integers(min_value=1, max_value=32))
+    n_variants = data.draw(st.integers(min_value=1, max_value=4))
+    specs = [_draw_spec(data.draw, netlist, width)
+             for _ in range(n_variants)]
+    stimulus = _stimulus(data.draw, netlist.inputs, width)
+    state = _stimulus(data.draw, netlist.flops, width)
+    family = VariantFamily(netlist, specs)
+    words = family.eval_words(stimulus, width, state=state)
+    compiled = get_compiled(netlist)
+    for v, spec in enumerate(specs):
+        want = reference_eval(netlist, spec, stimulus, width, state=state)
+        for name in netlist.outputs:
+            got = family.split_word(words[compiled.index[name]], width)[v]
+            assert got == want[name]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_one_variant_identity_family_equals_plain_eval(data):
+    """The degenerate single-identity family IS the base evaluation."""
+    netlist = data.draw(combinational_netlists())
+    width = data.draw(st.integers(min_value=1, max_value=64))
+    stimulus = _stimulus(data.draw, netlist.inputs, width)
+    family = VariantFamily(netlist, [VariantSpec()])
+    base = get_compiled(netlist).eval_words(stimulus, width)
+    for _ in range(2):  # interpreted, then generated
+        assert family.eval_words(stimulus, width) == base
+
+
+def test_spec_round_trip_and_validation():
+    netlist = c17()
+    spec = VariantSpec(inputs={"G1": 5}, forces={"G10": 2},
+                       flips=["G22", "G16"],
+                       opcodes={"G10": "AND", "G22": GateType.CONST1})
+    assert spec.forces["G10"] == 1       # normalized to 0/1
+    assert VariantSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+    assert VariantSpec().is_identity() and not spec.is_identity()
+    with pytest.raises(Exception):
+        VariantFamily(netlist, [])       # empty family
+    with pytest.raises(Exception):       # INPUT sites are not patchable
+        VariantFamily(netlist, [VariantSpec(opcodes={"G1": "AND"})])
+
+
+# ----------------------------------------------------------------------
+# Ported consumers
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_fault_campaign_batched_matches_serial(data):
+    netlist = data.draw(combinational_netlists())
+    faults = enumerate_faults(
+        netlist, kinds=(FaultKind.STUCK_AT_0, FaultKind.STUCK_AT_1,
+                        FaultKind.BIT_FLIP))
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+    n_vectors = data.draw(st.sampled_from([1, 7, 32]))
+    serial = fault_campaign(netlist, faults, n_vectors=n_vectors,
+                            seed=seed, batch=False)
+    batched = fault_campaign(netlist, faults, n_vectors=n_vectors,
+                             seed=seed, batch=True)
+    assert [
+        (o.fault.net, o.fault.kind, o.propagated, o.detected,
+         o.silent_corruption) for o in serial.outcomes
+    ] == [
+        (o.fault.net, o.fault.kind, o.propagated, o.detected,
+         o.silent_corruption) for o in batched.outcomes
+    ]
+    assert serial.coverage == batched.coverage
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_family_leakage_traces_match_serial_sweep(data):
+    """Batched traces — and hence TVLA verdicts — are byte-equal."""
+    netlist = data.draw(combinational_netlists())
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    n_traces = 24
+    stimuli = [
+        {name: int(rng.integers(0, 2)) for name in netlist.inputs}
+        for _ in range(n_traces)
+    ]
+    # Variants flip a subset of inputs: the serial equivalent is the
+    # same sweep on inverted stimulus bits.
+    subsets = [[]] + [
+        data.draw(st.lists(st.sampled_from(netlist.inputs),
+                           min_size=1, max_size=3, unique=True))
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3)))
+    ]
+    family = VariantFamily(
+        netlist, [VariantSpec(flips=subset) for subset in subsets])
+    batched = family_leakage_traces(family, stimuli, noise_sigma=0.8,
+                                    seed=seed)
+    for v, subset in enumerate(subsets):
+        flipped = [
+            {name: value ^ (1 if name in subset else 0)
+             for name, value in stim.items()}
+            for stim in stimuli
+        ]
+        serial = leakage_traces(netlist, flipped, noise_sigma=0.8,
+                                seed=seed + v)
+        assert np.array_equal(batched[v], serial)
+        half = n_traces // 2
+        got = tvla(batched[v][:half], batched[v][half:])
+        want = tvla(serial[:half], serial[half:])
+        assert got.max_abs_t == want.max_abs_t
+        assert got.leaking_sample == want.leaking_sample
+
+
+def test_service_variant_hashes_and_cache_hits(tmp_path, monkeypatch):
+    """Per-variant cache keys are served on resubmission, batched or not."""
+    from repro.service import (
+        ArtifactStore,
+        evaluate_variants,
+        variant_sweep_campaign,
+    )
+    import repro.service.campaigns as campaigns
+
+    netlist = c17()
+    variants = [
+        {"flips": ["G10"]},
+        {"forces": {"G16": 1}},
+        {"inputs": {"G1": 3}},
+        {},
+    ]
+    store = ArtifactStore(str(tmp_path / "store"))
+    first = variant_sweep_campaign(netlist, variants, n_vectors=16,
+                                   seed=3, store=store, batch=True)
+    # Each batch entry equals the one-variant serial kernel (hash incl.)
+    for variant, row in zip(variants, first):
+        solo = evaluate_variants(netlist, [variant], n_vectors=16,
+                                 seed=3)[0]
+        assert row == solo
+    # Resubmission must not schedule anything: every per-variant spec
+    # hash is already in the store.
+    def _no_scheduler(*args, **kwargs):
+        raise AssertionError("cache miss: scheduler constructed")
+
+    monkeypatch.setattr(campaigns, "Scheduler", _no_scheduler)
+    again = variant_sweep_campaign(netlist, variants, n_vectors=16,
+                                   seed=3, store=store, batch=False)
+    assert again == first
