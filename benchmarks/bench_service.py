@@ -1,28 +1,225 @@
-"""Flow execution service — cache-hit resubmission speedup.
+"""X13 — the warm-worker execution core vs fork-per-job dispatch.
 
-The service's economic claim: a campaign resubmitted against a warm
-artifact store is answered from content-addressed results instead of
-recomputed, because the spec hash ``(job_type, params, seed)`` is
-stable across processes and runs.  This bench times the same locking
-sweep cold (every point computed) and warm (every point a cache hit)
-and asserts the warm run is served ≥90% from cache — the resubmission
-acceptance bar — with the run database recording the hits.
+Three benchmarks for the execution service, gated by
+``run_bench.py --check`` since the warm-worker refactor:
 
-Not in ``run_bench.py --check``'s scope: the gate bounds flow
-overhead; this file characterises the service layer itself.
+* a repeated locking-sweep campaign — the same sweep submitted twice
+  through one persistent :class:`~repro.service.WorkerPool` over one
+  artifact store, timed against PR 4's fork-per-job scheduler on the
+  same workload.  The cold pooled submission must already beat the
+  per-job baseline (no new process per job, event-driven completion
+  instead of poll-quantized joins); the warm resubmission — warm
+  workers, warm engine caches, results addressable by spec hash —
+  must clear 3x.  Serial, inline, per-job, cold-pooled and
+  warm-pooled results are asserted bit-identical on the deterministic
+  fields first;
+* a run-database query microbenchmark at 10k records — the indexed
+  SQLite backend's ``query(spec_hash=...)`` against the legacy JSONL
+  backend's cold full-file scan, plus a 1k-record point showing the
+  indexed lookup scales sub-linearly while the scan grows with the
+  log;
+* the original PR 4 cache-hit characterisation: a resubmitted
+  campaign is served ≥90% from the content-addressed store, with the
+  run database recording the hits.
 """
 
 import shutil
 import tempfile
+import time
 
 import pytest
 
-from repro.netlist import ripple_carry_adder
+from repro.core.dse import sweep_locking
+from repro.netlist import c17, ripple_carry_adder
 from repro.service import (
     ArtifactStore,
+    JsonlRunDatabase,
     RunDatabase,
+    RunRecord,
+    SqliteRunDatabase,
+    WorkerPool,
     locking_sweep_campaign,
 )
+
+KEY_WIDTHS = [1, 2, 3, 4]     # c17 fits at most 4 XOR key gates
+SEEDS = [3, 4, 5, 6, 7, 8]    # one campaign invocation per seed
+MAX_ITERATIONS = 40
+WORKERS = 2
+
+DB_RECORDS = 10_000
+DB_SMALL = 1_000
+DB_QUERY_REPEATS = 200
+
+
+def _strip(points):
+    """The deterministic fields: everything but the attack wall time."""
+    return [(p.key_bits, p.area, p.sat_attack_iterations, p.attack_gave_up)
+            for p in points]
+
+
+def _sweeps(workers, store=None, pool=None, persistent=True):
+    """The benchmark workload: one locking-sweep campaign per seed.
+
+    Without ``store``, every campaign gets a throwaway store (the
+    fork-per-job baseline and the inline reference run cold); with
+    one, campaigns share it — exactly how a long-lived service run
+    accumulates reusable results.
+    """
+    base = c17()
+    results = []
+    for seed in SEEDS:
+        results.append(_strip(locking_sweep_campaign(
+            base, KEY_WIDTHS, seed=seed, max_iterations=MAX_ITERATIONS,
+            workers=workers,
+            store=store if store is not None
+            else ArtifactStore(tempfile.mkdtemp(prefix="bench-service-")),
+            pool=pool, persistent=persistent)))
+    return results
+
+
+def run_repeated_campaign():
+    serial = [_strip(sweep_locking(c17(), KEY_WIDTHS, seed=seed,
+                                   max_iterations=MAX_ITERATIONS))
+              for seed in SEEDS]
+    inline = _sweeps(workers=0)
+
+    start = time.perf_counter()
+    per_job = _sweeps(WORKERS, persistent=False)
+    per_job_s = time.perf_counter() - start
+
+    store = ArtifactStore(tempfile.mkdtemp(prefix="bench-service-warm-"))
+    with WorkerPool(WORKERS) as pool:
+        start = time.perf_counter()
+        cold = _sweeps(WORKERS, store=store, pool=pool)
+        pool_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = _sweeps(WORKERS, store=store, pool=pool)
+        warm_s = time.perf_counter() - start
+
+    assert serial == inline == per_job == cold == warm
+    return {
+        "campaigns": len(SEEDS),
+        "jobs": len(SEEDS) * len(KEY_WIDTHS),
+        "per_job_s": per_job_s,
+        "pool_cold_s": pool_cold_s,
+        "warm_resubmit_s": warm_s,
+        "cold_speedup": per_job_s / pool_cold_s,
+        "warm_speedup": per_job_s / warm_s,
+    }
+
+
+HOT_HASH = "ab" * 32
+HOT_COUNT = 5
+
+
+def _db_records(n):
+    """A plausible service log: many runs, mostly unique spec hashes.
+
+    Exactly :data:`HOT_COUNT` records carry :data:`HOT_HASH`, evenly
+    spread, whatever ``n`` is — so a ``spec_hash`` query returns the
+    same result set at every log size and the timing isolates lookup
+    cost from result-decoding cost.
+    """
+    stride = n // HOT_COUNT
+    return [
+        RunRecord(f"run-{i % 40:03d}", f"j{i:05d}-lock", "locking-point",
+                  HOT_HASH if i % stride == 3 else format(i, "08x") * 8,
+                  "succeeded" if i % 7 else "failed",
+                  attempts=1, wall_s=0.01 * (i % 13),
+                  cache_hit=(i % 3 == 0), worker=f"pid{i % 8}",
+                  seed=i, finished_at=1000.0 + i)
+        for i in range(n)
+    ]
+
+
+def _time_queries(db, spec_hash, repeats, batches=5, fresh=None):
+    """Best-batch mean seconds per ``query(spec_hash=...)``.
+
+    The minimum over ``batches`` timed batches — load spikes only ever
+    push a batch up, never down, so the min is the noise-robust
+    statistic (same convention as ``run_bench.py --check``).  With
+    ``fresh``, every call opens a new handle via the factory — the
+    legacy CLI pattern the tail-offset cache cannot help, i.e. a
+    full-file parse per query.
+    """
+    best = float("inf")
+    for _ in range(batches):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            handle = fresh() if fresh is not None else db
+            handle.query(spec_hash=spec_hash)
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+def run_rundb_queries():
+    root = tempfile.mkdtemp(prefix="bench-service-rundb-")
+    timings = {}
+    for label, n in (("small", DB_SMALL), ("large", DB_RECORDS)):
+        records = _db_records(n)
+        jsonl_path = f"{root}/runs-{n}.jsonl"
+        JsonlRunDatabase(jsonl_path).record_many(records)
+        sqlite = SqliteRunDatabase(f"{root}/runs-{n}.db")
+        sqlite.record_many(records)
+        target = HOT_HASH
+        # Both backends agree before either is timed.
+        hits = sqlite.query(spec_hash=target)
+        assert hits == JsonlRunDatabase(jsonl_path).query(spec_hash=target)
+        assert len(hits) == HOT_COUNT
+        timings[label] = {
+            "records": n,
+            "jsonl_scan_s": _time_queries(
+                None, target, repeats=1, batches=5,
+                fresh=lambda path=jsonl_path: JsonlRunDatabase(path)),
+            "sqlite_s": _time_queries(sqlite, target, DB_QUERY_REPEATS,
+                                      batches=8),
+        }
+        sqlite.close()
+    small, large = timings["small"], timings["large"]
+    return {
+        "records": DB_RECORDS,
+        "jsonl_scan_s": large["jsonl_scan_s"],
+        "sqlite_s": large["sqlite_s"],
+        "scan_over_sqlite": large["jsonl_scan_s"] / large["sqlite_s"],
+        "scan_growth": large["jsonl_scan_s"] / small["jsonl_scan_s"],
+        "sqlite_growth": large["sqlite_s"] / small["sqlite_s"],
+    }
+
+
+def test_warm_pool_repeated_campaign(benchmark):
+    result = benchmark.pedantic(run_repeated_campaign, rounds=1,
+                                iterations=1)
+    print(f"\n=== repeated locking-sweep campaign "
+          f"({result['campaigns']} campaigns x {len(KEY_WIDTHS)} widths, "
+          f"{WORKERS} workers) ===")
+    print(f"fork-per-job : {result['per_job_s']:.3f}s")
+    print(f"pool, cold   : {result['pool_cold_s']:.3f}s "
+          f"({result['cold_speedup']:.1f}x)")
+    print(f"pool, warm   : {result['warm_resubmit_s']:.3f}s "
+          f"({result['warm_speedup']:.1f}x, bit-identical points)")
+    # The acceptance gate: resubmitting through the warm pool beats
+    # PR 4's dispatch >= 3x; even the cold pool must already win.
+    assert result["warm_speedup"] >= 3.0
+    assert result["cold_speedup"] >= 1.2
+
+
+def test_rundb_indexed_queries(benchmark):
+    result = benchmark.pedantic(run_rundb_queries, rounds=1, iterations=1)
+    print(f"\n=== run-database spec-hash query "
+          f"({result['records']} records) ===")
+    print(f"jsonl scan : {result['jsonl_scan_s'] * 1e3:.2f}ms/query "
+          f"(grew {result['scan_growth']:.1f}x from "
+          f"{DB_SMALL} to {DB_RECORDS} records)")
+    print(f"sqlite     : {result['sqlite_s'] * 1e3:.3f}ms/query "
+          f"({result['scan_over_sqlite']:.0f}x faster, grew "
+          f"{result['sqlite_growth']:.1f}x)")
+    assert result["scan_over_sqlite"] >= 10.0
+    # Sub-linear: over a 10x record-count step the indexed lookup
+    # must grow far less than proportionally (the scan, by contrast,
+    # grows with the log — reported above).  The result set is pinned
+    # to HOT_COUNT rows at both sizes, so growth here is lookup cost.
+    assert result["sqlite_growth"] <= 3.0
+
 
 WIDTHS = [0, 2, 4, 6, 8]
 SEED = 3

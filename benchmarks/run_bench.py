@@ -42,10 +42,13 @@ BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 #: ``--check`` scope: the flow-level benchmarks whose overhead the
 #: pass-manager refactor must bound (fig1 flows, fig2 masking, AES)
 #: plus the SAT-core microbenchmarks (ATPG / SAT attack kernels), the
-#: physical-design kernels (maze routing / security closure), and the
-#: batched variant-sweep benchmarks (masking TVLA / locking keys).
+#: physical-design kernels (maze routing / security closure), the
+#: batched variant-sweep benchmarks (masking TVLA / locking keys),
+#: and the execution-service benchmarks (warm-pool resubmission /
+#: indexed run-DB queries).
 CHECK_FILES = ("bench_fig1.py", "bench_fig2.py", "bench_aes_netlist.py",
-               "bench_sat.py", "bench_closure.py", "bench_variants.py")
+               "bench_sat.py", "bench_closure.py", "bench_variants.py",
+               "bench_service.py")
 #: ``--check`` baseline: the pre-pass-manager reference run (PR 1).
 BASELINE = REPO_ROOT / "BENCH_1.json"
 

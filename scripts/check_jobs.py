@@ -15,7 +15,15 @@ audit checks (without *running* anything):
   order — the property that makes the artifact store a cache rather
   than a lottery,
 * the hash ignores execution policy (timeout/retries) but depends on
-  the seed.
+  the seed,
+* the declared ``sample_result`` is picklable *and* JSON-able — the
+  result must cross the worker pipe and land in the artifact store,
+  so it must not smuggle process-local handles (compiled programs,
+  solver engines, open stores) out of a warm worker,
+* the job function captures no closure state (``__closure__`` is
+  empty): a persistent worker runs many jobs, and captured mutable
+  state would make results depend on execution history instead of
+  ``(params, seed)``.
 
 Run directly (exit 1 on problems) or import :func:`audit` from a test.
 
@@ -59,6 +67,37 @@ def audit() -> List[str]:
                 problems.append(
                     f"{name}: job function {where} does not pickle "
                     "by reference")
+
+        if getattr(fn, "__closure__", None):
+            problems.append(
+                f"{name}: job function {where} captures closure "
+                "state — warm-worker results must depend only on "
+                "(params, seed), not on captured objects")
+
+        sample_result = dict(job_type.sample_result)
+        if not sample_result:
+            problems.append(
+                f"{name}: no sample_result declared — the audit "
+                "cannot prove the result crosses the worker pipe")
+        else:
+            try:
+                canonical_json(sample_result)
+            except (TypeError, ValueError) as exc:
+                problems.append(
+                    f"{name}: sample_result is not JSON-able ({exc}) "
+                    "— results must be storable artifacts, free of "
+                    "process-local handles")
+            try:
+                clone = pickle.loads(pickle.dumps(sample_result))
+            except Exception as exc:   # noqa: BLE001
+                problems.append(
+                    f"{name}: sample_result is not picklable "
+                    f"({type(exc).__name__}: {exc}) — results must "
+                    "cross the worker pipe")
+            else:
+                if clone != sample_result:
+                    problems.append(
+                        f"{name}: sample_result != pickle round trip")
 
         sample = dict(job_type.sample_params)
         if not sample and name not in ():

@@ -17,6 +17,7 @@ from .atpg import (
     compact_vectors,
     generate_test_for_fault,
     run_atpg,
+    shared_atpg_engine,
 )
 from .bist import BistResult, Lfsr, Misr, bist_detects_fault, run_bist
 from .scan_attack import (
@@ -33,7 +34,7 @@ __all__ = [
     "scan_capture", "scan_load", "scan_unload",
     "CoverageReport", "grade_vectors",
     "AtpgResult", "IncrementalAtpg", "compact_vectors",
-    "generate_test_for_fault", "run_atpg",
+    "generate_test_for_fault", "run_atpg", "shared_atpg_engine",
     "BistResult", "Lfsr", "Misr", "bist_detects_fault", "run_bist",
     "ScanAttackResult", "ScanChipModel", "netlist_scan_attack",
     "scan_attack",

@@ -141,6 +141,32 @@ def generate_test_for_fault(netlist: Netlist, fault: Fault,
     return IncrementalAtpg(netlist).test_for_fault(fault, conflict_budget)
 
 
+def shared_atpg_engine(netlist: Netlist) -> IncrementalAtpg:
+    """Process-local :class:`IncrementalAtpg` engine for ``netlist``.
+
+    Registered in the :func:`repro.formal.solver_registry` under the
+    netlist's transport digest, so a warm worker re-running ATPG jobs
+    on the same design skips the base Tseitin encoding and starts from
+    the learned clauses of earlier queries.
+
+    **Caveat (model dependence):** a warm engine may emit different —
+    equally valid — test vectors than a cold one, because learned
+    clauses steer the search.  Use this only where the surfaced result
+    is model-independent (coverage verdicts, detect/undetectable
+    classification); batch flows whose concrete vectors are part of the
+    result (``run_atpg``) must keep constructing their own engine.
+    The engine assumes the netlist is not mutated while registered;
+    the registry key is content-addressed, so a structurally different
+    netlist always gets a fresh engine.
+    """
+    from ..formal import solver_registry
+    from ..netlist import transport_hash
+
+    key = "atpg:" + transport_hash(netlist)
+    return solver_registry().get_or_create(
+        key, lambda: IncrementalAtpg(netlist))
+
+
 def run_atpg(netlist: Netlist,
              faults: Optional[Sequence[Fault]] = None,
              random_budget: int = 64,

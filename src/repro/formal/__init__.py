@@ -1,6 +1,15 @@
 """Formal engines: CDCL SAT, Tseitin encoding, equivalence, properties."""
 
-from .sat import Solver, lit, neg, var_of, UNASSIGNED
+from .sat import (
+    Solver,
+    SolverRegistry,
+    lit,
+    neg,
+    reset_solver_registry,
+    solver_registry,
+    var_of,
+    UNASSIGNED,
+)
 from .cnf import CircuitEncoder, solve_circuit
 from .equivalence import EquivalenceResult, build_miter, check_equivalence
 from .glift import (
@@ -21,7 +30,8 @@ from .properties import (
 )
 
 __all__ = [
-    "Solver", "lit", "neg", "var_of", "UNASSIGNED",
+    "Solver", "SolverRegistry", "lit", "neg", "var_of", "UNASSIGNED",
+    "solver_registry", "reset_solver_registry",
     "CircuitEncoder", "solve_circuit",
     "EquivalenceResult", "build_miter", "check_equivalence",
     "FlowResult", "glift_simulate", "prove_no_flow",

@@ -70,9 +70,16 @@ class CircuitEncoder:
             self.encode_calls += 1
         else:
             self.cone_encodes += 1
+        # Hot path: the SAT attack encodes two fresh circuit copies per
+        # DIP iteration, so literals are built inline (``2 * v`` for
+        # positive, ``^ 1`` to complement) instead of through the
+        # :func:`lit`/:func:`neg` helpers — per-literal call overhead
+        # is measurable at that rate.
         add = self.solver.add_clause
+        new_var = self.solver.new_var
+        gates = netlist.gates
         for net in netlist.topological_order():
-            g = netlist.gates[net]
+            g = gates[net]
             if net in bind:
                 varmap[net] = bind[net]
                 continue
@@ -80,53 +87,55 @@ class CircuitEncoder:
                 raise ValueError(
                     f"net {net!r} outside the encoded cone has no bound "
                     f"variable")
-            v = self.solver.new_var()
+            v = new_var()
             varmap[net] = v
             t = g.gate_type
-            out = lit(v)
+            out = 2 * v
             if t is GateType.INPUT or t is GateType.DFF:
                 continue  # free variable
             if t is GateType.CONST0:
-                add([neg(out)])
+                add([out ^ 1])
             elif t is GateType.CONST1:
                 add([out])
             elif t is GateType.BUF:
-                a = lit(varmap[g.fanins[0]])
-                add([neg(out), a])
-                add([out, neg(a)])
+                a = 2 * varmap[g.fanins[0]]
+                add([out ^ 1, a])
+                add([out, a ^ 1])
             elif t is GateType.NOT:
-                a = lit(varmap[g.fanins[0]])
-                add([neg(out), neg(a)])
+                a = 2 * varmap[g.fanins[0]]
+                add([out ^ 1, a ^ 1])
                 add([out, a])
             elif t in (GateType.AND, GateType.NAND):
-                ins = [lit(varmap[fi]) for fi in g.fanins]
-                y = out if t is GateType.AND else neg(out)
+                ins = [2 * varmap[fi] for fi in g.fanins]
+                y = out if t is GateType.AND else out ^ 1
+                ny = y ^ 1
                 for a in ins:
-                    add([neg(y), a])
-                add([y] + [neg(a) for a in ins])
+                    add([ny, a])
+                add([y] + [a ^ 1 for a in ins])
             elif t in (GateType.OR, GateType.NOR):
-                ins = [lit(varmap[fi]) for fi in g.fanins]
-                y = out if t is GateType.OR else neg(out)
+                ins = [2 * varmap[fi] for fi in g.fanins]
+                y = out if t is GateType.OR else out ^ 1
+                ny = y ^ 1
                 for a in ins:
-                    add([y, neg(a)])
-                add([neg(y)] + list(ins))
+                    add([y, a ^ 1])
+                add([ny] + ins)
             elif t in (GateType.XOR, GateType.XNOR):
                 # Chain wide XORs through intermediates.
-                acc = lit(varmap[g.fanins[0]])
+                acc = 2 * varmap[g.fanins[0]]
                 for fi in g.fanins[1:-1]:
-                    nxt = lit(self.solver.new_var())
-                    self._xor_clauses(acc, lit(varmap[fi]), nxt)
+                    nxt = 2 * new_var()
+                    self._xor_clauses(acc, 2 * varmap[fi], nxt)
                     acc = nxt
-                last = lit(varmap[g.fanins[-1]])
-                y = out if t is GateType.XOR else neg(out)
+                last = 2 * varmap[g.fanins[-1]]
+                y = out if t is GateType.XOR else out ^ 1
                 self._xor_clauses(acc, last, y)
             elif t is GateType.MUX:
-                s, d0, d1 = (lit(varmap[fi]) for fi in g.fanins)
+                s, d0, d1 = (2 * varmap[fi] for fi in g.fanins)
                 # out = (~s & d0) | (s & d1)
-                add([neg(out), s, d0])
-                add([neg(out), neg(s), d1])
-                add([out, s, neg(d0)])
-                add([out, neg(s), neg(d1)])
+                add([out ^ 1, s, d0])
+                add([out ^ 1, s ^ 1, d1])
+                add([out, s, d0 ^ 1])
+                add([out, s ^ 1, d1 ^ 1])
             else:
                 raise ValueError(f"cannot encode gate type {t.name}")
         if prefix:
@@ -136,10 +145,10 @@ class CircuitEncoder:
     def _xor_clauses(self, a: int, b: int, y: int) -> None:
         """y <-> a XOR b."""
         add = self.solver.add_clause
-        add([neg(y), a, b])
-        add([neg(y), neg(a), neg(b)])
-        add([y, neg(a), b])
-        add([y, a, neg(b)])
+        add([y ^ 1, a, b])
+        add([y ^ 1, a ^ 1, b ^ 1])
+        add([y, a ^ 1, b])
+        add([y, a, b ^ 1])
 
     def assert_equal(self, v: int, value: int) -> None:
         """Pin a variable to a constant with a unit clause."""

@@ -80,6 +80,13 @@ class Solver:
         self.clauses: List[List[int]] = []   # problem clauses
         self.learnts: List[List[int]] = []   # learned clauses (reducible)
         self.watches: List[List[List[int]]] = []  # literal -> clauses
+        #: literal -> [(implied literal, clause), ...] for two-literal
+        #: clauses.  Binary clauses dominate Tseitin CNFs (every
+        #: AND/OR gate contributes arity binary clauses), and their
+        #: propagation needs no watch migration: falsifying one side
+        #: immediately implies the other.  Keeping them out of the
+        #: general watch lists roughly halves the hot-loop work.
+        self.bin_watches: List[List[Tuple[int, List[int]]]] = []
         self.assign: List[int] = []          # var -> 0/1/UNASSIGNED
         self.level: List[int] = []           # var -> decision level
         self.reason: List[Optional[List[int]]] = []  # var -> clause
@@ -118,6 +125,8 @@ class Solver:
         self._heap_pos.append(-1)
         self.watches.append([])
         self.watches.append([])
+        self.bin_watches.append([])
+        self.bin_watches.append([])
         self._heap_insert(v)
         return v
 
@@ -131,24 +140,26 @@ class Solver:
             self._backtrack(0)
         # Single pass: dedup, tautology check, and level-0 filtering
         # (drop false literals, skip satisfied clauses).  This runs for
-        # every encoded gate, so the literal value test is inlined.
+        # every encoded gate, so the literal value test is inlined and
+        # dedup scans the (short) kept list instead of building a set
+        # per clause — encoder clauses have two or three literals.
         assign = self.assign
         num_vars = self.num_vars
-        seen = set()
         reduced: List[int] = []
         for l in literals:
-            if l in seen:
-                continue
-            if l ^ 1 in seen:
-                return True  # tautology
-            if (l >> 1) >= num_vars:
+            v = l >> 1
+            if v >= num_vars:
                 raise ValueError(f"literal {l} references unknown variable")
-            seen.add(l)
-            value = assign[l >> 1]
-            if value == UNASSIGNED:
-                reduced.append(l)
-            elif value ^ (l & 1) == 1:
-                return True
+            value = assign[v]
+            if value >= 0:
+                if value ^ (l & 1) == 1:
+                    return True  # satisfied at level 0
+                continue         # false at level 0: drop the literal
+            if l in reduced:
+                continue
+            if l ^ 1 in reduced:
+                return True  # tautology
+            reduced.append(l)
         if not reduced:
             self._ok = False
             return False
@@ -159,8 +170,12 @@ class Solver:
                 return False
             return True
         self.clauses.append(reduced)
-        self.watches[reduced[0] ^ 1].append(reduced)
-        self.watches[reduced[1] ^ 1].append(reduced)
+        if len(reduced) == 2:
+            self.bin_watches[reduced[0] ^ 1].append((reduced[1], reduced))
+            self.bin_watches[reduced[1] ^ 1].append((reduced[0], reduced))
+        else:
+            self.watches[reduced[0] ^ 1].append(reduced)
+            self.watches[reduced[1] ^ 1].append(reduced)
         return True
 
     # ------------------------------------------------------------------
@@ -282,12 +297,16 @@ class Solver:
         propagating), and ``_value_of``/``_enqueue`` are inlined.  With
         ``UNASSIGNED == -1``, ``assign[v] ^ (lit & 1)`` is negative for
         unassigned variables, so the ``== 1`` / ``== 0`` tests need no
-        explicit unassigned branch.  Watch lists hold the clause lists
-        themselves; each visited list is rebuilt in place (append-only)
-        rather than swap-popped, keeping the scan branch-light.
+        explicit unassigned branch.  Binary clauses propagate through
+        their own implication lists first — no watch migration, just a
+        value test per pair.  The general watch lists hold the clause
+        lists themselves; each visited list is rebuilt in place
+        (append-only) rather than swap-popped, keeping the scan
+        branch-light.
         """
         trail = self.trail
         watches = self.watches
+        bin_watches = self.bin_watches
         assign = self.assign
         level = self.level
         reason = self.reason
@@ -298,6 +317,19 @@ class Solver:
             literal = trail[qhead]
             qhead += 1
             processed += 1
+            for other, bin_clause in bin_watches[literal]:
+                ov = assign[other >> 1] ^ (other & 1)
+                if ov == 1:
+                    continue
+                if ov == 0:
+                    self._qhead = len(trail)
+                    self.propagations += processed
+                    return bin_clause
+                v = other >> 1
+                assign[v] = (other & 1) ^ 1
+                level[v] = lvl
+                reason[v] = bin_clause
+                trail.append(other)
             watch_list = watches[literal]
             if not watch_list:
                 continue
@@ -515,8 +547,14 @@ class Solver:
                 else:
                     self.learnts.append(learned)
                     self._lbd[id(learned)] = lbd
-                    self.watches[learned[0] ^ 1].append(learned)
-                    self.watches[learned[1] ^ 1].append(learned)
+                    if len(learned) == 2:
+                        self.bin_watches[learned[0] ^ 1].append(
+                            (learned[1], learned))
+                        self.bin_watches[learned[1] ^ 1].append(
+                            (learned[0], learned))
+                    else:
+                        self.watches[learned[0] ^ 1].append(learned)
+                        self.watches[learned[1] ^ 1].append(learned)
                     self._enqueue(learned[0], learned)
                 self.var_inc /= self.var_decay
                 if conflicts_since_restart >= restart_limit:
@@ -572,3 +610,94 @@ class Solver:
             "restarts": self.restarts,
             "reductions": self.reductions,
         }
+
+
+class SolverRegistry:
+    """Process-local registry of long-lived incremental solver state.
+
+    Warm workers (:mod:`repro.service.scheduler`) keep solver engines —
+    e.g. an ATPG engine whose good-circuit CNF is already encoded —
+    alive between jobs, keyed by the transport digest of the netlist
+    they encode.  This registry makes that reuse explicit and bounded:
+    an LRU of caller-chosen string keys to arbitrary solver-backed
+    engines, with hit/miss/eviction counters.
+
+    **Determinism contract.**  Reusing an incremental solver preserves
+    SAT/UNSAT verdicts but not *models*: learned clauses steer the
+    search, so a warm solver may return a different (equally valid)
+    satisfying assignment than a cold one.  Clients must therefore only
+    route results through the registry when the surfaced value is
+    model-independent (verdicts, counts, iteration-bounded failures) —
+    never when concrete test vectors or counterexample assignments are
+    part of the result contract.  The service layer's bit-identical
+    inline/serial/pooled guarantee rests on this rule.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self.max_entries = max_entries
+        self._entries: Dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_create(self, key: str, factory):
+        """Engine registered under ``key``; builds via ``factory()``."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries[key] = self._entries.pop(key)
+            return cached
+        self.misses += 1
+        engine = factory()
+        self._entries[key] = engine
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        return engine
+
+    def get(self, key: str):
+        """Engine under ``key`` or ``None`` (no miss counted)."""
+        return self._entries.get(key)
+
+    def discard(self, key: str) -> None:
+        """Drop the engine under ``key`` if present (no error if absent)."""
+        self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Registry counters: entry count, hits, misses, evictions."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        """Drop every registered engine and reset the counters."""
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+
+
+#: Process-local singleton, lazily created (fork-safety: workers that
+#: clear their registry never touch the parent's).
+_SOLVER_REGISTRY: Optional[SolverRegistry] = None
+
+
+def solver_registry() -> SolverRegistry:
+    """The process-local :class:`SolverRegistry` singleton."""
+    global _SOLVER_REGISTRY
+    if _SOLVER_REGISTRY is None:
+        _SOLVER_REGISTRY = SolverRegistry()
+    return _SOLVER_REGISTRY
+
+
+def reset_solver_registry() -> None:
+    """Drop the process-local registry (tests; worker recycling)."""
+    global _SOLVER_REGISTRY
+    _SOLVER_REGISTRY = None

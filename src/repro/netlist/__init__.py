@@ -2,7 +2,15 @@
 
 from .gates import GateType, evaluate, check_arity
 from .netlist import Gate, Netlist, NetlistError, cone_extract
-from .engine import CompiledNetlist, VariantFamily, VariantSpec, get_compiled
+from .engine import (
+    CompiledNetlist,
+    EngineCache,
+    VariantFamily,
+    VariantSpec,
+    engine_cache,
+    get_compiled,
+    reset_engine_cache,
+)
 from .simulate import (
     simulate,
     simulate_reference,
@@ -61,7 +69,8 @@ from .metrics import (
 __all__ = [
     "GateType", "evaluate", "check_arity",
     "Gate", "Netlist", "NetlistError", "cone_extract",
-    "CompiledNetlist", "VariantFamily", "VariantSpec", "get_compiled",
+    "CompiledNetlist", "EngineCache", "VariantFamily", "VariantSpec",
+    "engine_cache", "get_compiled", "reset_engine_cache",
     "simulate", "simulate_reference",
     "output_values", "step_sequential", "run_sequential",
     "pack_patterns", "unpack_word", "random_stimulus",

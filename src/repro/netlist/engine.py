@@ -69,10 +69,155 @@ _OPCODE = {
 }
 
 
-#: Generated-source -> compiled chunk tuple, shared across structurally
-#: identical netlists.  FIFO-bounded; entries are small (code objects).
-_PROGRAM_MEMO: Dict[str, tuple] = {}
-_PROGRAM_MEMO_MAX = 64
+class EngineCache:
+    """Process-local warm-evaluation state with bounded LRU eviction.
+
+    Long-lived processes — the :mod:`repro.service` worker pool above
+    all — repeatedly evaluate structurally identical netlists: every
+    job of a locking sweep parses the same benchmark text, lowers it to
+    the same generated source, and compiles the same chunk functions.
+    This class makes that reuse an explicit, testable contract instead
+    of an accident of module globals.  Two keyed pools:
+
+    * **programs** — generated-source -> compiled chunk-function tuple,
+      shared across structurally identical netlists and variant
+      families with the same delta layout (absorbs the former
+      ``_PROGRAM_MEMO`` module global);
+    * **netlists** — caller-chosen string key (conventionally the
+      transport digest of the serialized form) -> parsed
+      :class:`~repro.netlist.Netlist`.  Each entry records the
+      netlist's ``mutation_epoch`` at insertion; a lookup whose cached
+      netlist has since been mutated in place is treated as a miss and
+      dropped, so a stale structure is never served.
+
+    Both pools are LRU-bounded and count hits/misses/evictions.  The
+    cache is *process-local by design*: compiled code objects and
+    parsed netlists are exactly the state that cannot travel across a
+    pickle boundary, which is why warm workers hold one of these each
+    (see ``scripts/check_jobs.py`` for the audit that job results never
+    smuggle such handles out of a worker).
+    """
+
+    def __init__(self, max_programs: int = 64,
+                 max_netlists: int = 32) -> None:
+        self.max_programs = max_programs
+        self.max_netlists = max_netlists
+        self._programs: "Dict[str, tuple]" = {}
+        self._netlists: Dict[str, Tuple[Netlist, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- generic LRU plumbing (dicts preserve insertion order) ---------
+
+    @staticmethod
+    def _touch(pool: dict, key: str) -> None:
+        pool[key] = pool.pop(key)
+
+    def _evict_to(self, pool: dict, limit: int) -> None:
+        while len(pool) > limit:
+            pool.pop(next(iter(pool)))
+            self.evictions += 1
+
+    # -- compiled programs ---------------------------------------------
+
+    def program(self, sources: Sequence[str]) -> tuple:
+        """Compiled chunk functions for the given generated sources.
+
+        The joined source is a complete structural signature and the
+        chunk functions close over nothing instance-specific, so any
+        two netlists producing the same source share one program.
+        """
+        key = "\x00".join(sources)
+        cached = self._programs.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._touch(self._programs, key)
+            return cached
+        self.misses += 1
+        chunk_fns = []
+        for source in sources:
+            namespace: Dict[str, object] = {}
+            exec(compile(source, "<compiled-netlist>", "exec"), namespace)
+            chunk_fns.append(namespace["_c"])
+        program = tuple(chunk_fns)
+        self._programs[key] = program
+        self._evict_to(self._programs, self.max_programs)
+        return program
+
+    # -- parsed netlists -----------------------------------------------
+
+    def get_netlist(self, key: str) -> Optional[Netlist]:
+        """Cached netlist for ``key``, or ``None``.
+
+        Entries whose netlist was mutated in place since insertion
+        (``mutation_epoch`` advanced) are dropped and reported as
+        misses: callers treat cached netlists as read-only, and this
+        guard turns a violation into a recompute instead of a wrong
+        answer.
+        """
+        entry = self._netlists.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        netlist, epoch = entry
+        if netlist.mutation_epoch != epoch:
+            del self._netlists[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(self._netlists, key)
+        return netlist
+
+    def put_netlist(self, key: str, netlist: Netlist) -> Netlist:
+        """Insert ``netlist`` under ``key``; returns it for chaining."""
+        self._netlists[key] = (netlist, netlist.mutation_epoch)
+        self._evict_to(self._netlists, self.max_netlists)
+        return netlist
+
+    def netlist(self, key: str, build) -> Netlist:
+        """Cached netlist for ``key``, calling ``build()`` on a miss."""
+        cached = self.get_netlist(key)
+        if cached is not None:
+            return cached
+        return self.put_netlist(key, build())
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cache counters: entry counts, hits, misses, evictions."""
+        return {
+            "programs": len(self._programs),
+            "netlists": len(self._netlists),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the counters."""
+        self._programs.clear()
+        self._netlists.clear()
+        self.hits = self.misses = self.evictions = 0
+
+
+#: The process-local cache instance; created lazily so ``fork``-started
+#: workers that clear it do not share state with the parent.
+_ENGINE_CACHE: Optional[EngineCache] = None
+
+
+def engine_cache() -> EngineCache:
+    """The process-local :class:`EngineCache` singleton."""
+    global _ENGINE_CACHE
+    if _ENGINE_CACHE is None:
+        _ENGINE_CACHE = EngineCache()
+    return _ENGINE_CACHE
+
+
+def reset_engine_cache() -> None:
+    """Drop the process-local cache (tests; worker recycling)."""
+    global _ENGINE_CACHE
+    _ENGINE_CACHE = None
 
 
 def _gate_expr(compiled: "CompiledNetlist", i: int, op: int, ref) -> str:
@@ -113,28 +258,13 @@ def _gate_expr(compiled: "CompiledNetlist", i: int, op: int, ref) -> str:
 
 
 def _compile_program(sources: Sequence[str]) -> tuple:
-    """Compile chunk sources to functions, memoized on the joined source.
+    """Compile chunk sources to functions via the process-local cache.
 
-    The generated source is a complete structural signature and the
-    chunk functions close over nothing instance-specific, so
-    structurally identical netlists (benchmarks rebuild the same design
-    repeatedly) — and variant families with the same delta layout —
-    share one compiled program.
+    Thin wrapper over :meth:`EngineCache.program` kept for the existing
+    call sites; the memoization policy (LRU bound, counters) lives on
+    the cache object.
     """
-    key = "\x00".join(sources)
-    cached = _PROGRAM_MEMO.get(key)
-    if cached is not None:
-        return cached
-    chunk_fns = []
-    for source in sources:
-        namespace: Dict[str, object] = {}
-        exec(compile(source, "<compiled-netlist>", "exec"), namespace)
-        chunk_fns.append(namespace["_c"])
-    program = tuple(chunk_fns)
-    if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_MAX:
-        _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
-    _PROGRAM_MEMO[key] = program
-    return program
+    return engine_cache().program(sources)
 
 
 class CompiledNetlist:

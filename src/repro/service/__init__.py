@@ -21,8 +21,15 @@ into a job-serving layer:
 * ``python -m repro.service`` — submit, watch, and inspect runs.
 """
 
-from .store import ArtifactStore, result_key
-from .rundb import RunDatabase, RunRecord, render_records
+from .store import ArtifactStore, GcReport, result_key
+from .rundb import (
+    JsonlRunDatabase,
+    RunDatabase,
+    RunRecord,
+    SqliteRunDatabase,
+    migrate_jsonl,
+    render_records,
+)
 from .jobs import (
     JobContext,
     JobSpec,
@@ -44,6 +51,7 @@ from .scheduler import (
     Job,
     Scheduler,
     SchedulerError,
+    WorkerPool,
 )
 from .campaigns import (
     DEFAULT_STACKS,
@@ -55,11 +63,12 @@ from .campaigns import (
 )
 
 __all__ = [
-    "ArtifactStore", "result_key",
-    "RunDatabase", "RunRecord", "render_records",
+    "ArtifactStore", "GcReport", "result_key",
+    "RunDatabase", "JsonlRunDatabase", "SqliteRunDatabase",
+    "RunRecord", "render_records", "migrate_jsonl",
     "JobContext", "JobSpec", "JobType", "evaluate_variants",
     "job_function", "register_job_type", "registered_job_types", "run_job",
-    "Job", "Scheduler", "SchedulerError",
+    "Job", "Scheduler", "SchedulerError", "WorkerPool",
     "PENDING", "RUNNING", "SUCCEEDED", "FAILED", "TIMEOUT",
     "CANCELLED", "SKIPPED",
     "DEFAULT_STACKS", "CampaignError",

@@ -12,14 +12,15 @@ same (round-tripped) inputs.
 
 from __future__ import annotations
 
+import contextlib
 import tempfile
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..core.dse import LockingSweepPoint
 from ..netlist import Netlist
 from .jobs import JobSpec
 from .rundb import RunDatabase
-from .scheduler import SUCCEEDED, Scheduler
+from .scheduler import SUCCEEDED, Scheduler, WorkerPool
 from .store import ArtifactStore
 
 
@@ -44,6 +45,24 @@ def _campaign_store(store: Optional[ArtifactStore]) -> ArtifactStore:
     return ArtifactStore(tempfile.mkdtemp(prefix="repro-service-"))
 
 
+@contextlib.contextmanager
+def _pinned_inputs(store: ArtifactStore, digests: Sequence[str],
+                   ref: str) -> Iterator[None]:
+    """Pin campaign inputs under ``ref`` for the duration of the run.
+
+    Input netlists are published before any job runs and may sit idle
+    longer than a GC grace window on a long campaign; a run-scoped pin
+    makes them explicit GC roots until the campaign returns.
+    """
+    for digest in digests:
+        store.pin(digest, ref=ref)
+    try:
+        yield
+    finally:
+        for digest in digests:
+            store.unpin(digest, ref=ref)
+
+
 def _raise_on_failures(jobs: Dict[str, object], what: str) -> None:
     bad = {job_id: job for job_id, job in jobs.items()
            if job.status != SUCCEEDED}
@@ -65,7 +84,9 @@ def locking_sweep_campaign(netlist: Netlist,
                            store: Optional[ArtifactStore] = None,
                            rundb: Optional[RunDatabase] = None,
                            timeout: Optional[float] = None,
-                           retries: int = 1
+                           retries: int = 1,
+                           pool: Optional[WorkerPool] = None,
+                           persistent: bool = True
                            ) -> List[LockingSweepPoint]:
     """:func:`repro.core.dse.sweep_locking` as a service campaign.
 
@@ -74,11 +95,13 @@ def locking_sweep_campaign(netlist: Netlist,
     ``workers`` processes.  Deterministic fields (key bits, area, DIP
     iterations, gave-up flag) are bit-identical to the serial sweep;
     ``attack_seconds`` is wall time and — uniquely — honest about
-    where the work actually ran.
+    where the work actually ran.  ``persistent=False`` selects the
+    fork-per-job dispatch (the warm-pool benchmark's baseline).
     """
     store = _campaign_store(store)
     input_hash = store.put_netlist(netlist)
-    scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+    scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
+                          pool=pool, persistent=persistent)
     job_ids = []
     for bits in key_widths:
         spec = JobSpec(
@@ -87,7 +110,8 @@ def locking_sweep_campaign(netlist: Netlist,
                     "max_iterations": int(max_iterations)},
             seed=seed, timeout=timeout, retries=retries)
         job_ids.append(scheduler.submit(spec))
-    jobs = scheduler.run()
+    with _pinned_inputs(store, [input_hash], scheduler.run_id):
+        jobs = scheduler.run()
     _raise_on_failures(jobs, "locking sweep")
     points = []
     for job_id in job_ids:
@@ -112,7 +136,8 @@ def security_closure_campaign(netlists: Sequence[Netlist],
                               store: Optional[ArtifactStore] = None,
                               rundb: Optional[RunDatabase] = None,
                               timeout: Optional[float] = None,
-                              retries: int = 1
+                              retries: int = 1,
+                              pool: Optional[WorkerPool] = None
                               ) -> Dict[str, Dict[str, object]]:
     """Security-close a batch of designs: one ``closure`` job each.
 
@@ -125,19 +150,24 @@ def security_closure_campaign(netlists: Sequence[Netlist],
     thresholds = dict(thresholds
                       or {"probing": 0.05, "fia": 0.30, "trojan": 0.05})
     store = _campaign_store(store)
-    scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+    scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
+                          pool=pool)
     job_ids = {}
+    input_hashes = []
     for netlist in netlists:
+        input_hash = store.put_netlist(netlist)
+        input_hashes.append(input_hash)
         spec = JobSpec(
             "closure",
-            params={"netlist": store.put_netlist(netlist),
+            params={"netlist": input_hash,
                     "thresholds": thresholds,
                     "num_layers": num_layers,
                     "max_iterations": int(max_iterations),
                     "placement_iterations": int(placement_iterations)},
             seed=seed, timeout=timeout, retries=retries)
         job_ids[netlist.name] = scheduler.submit(spec)
-    jobs = scheduler.run()
+    with _pinned_inputs(store, input_hashes, scheduler.run_id):
+        jobs = scheduler.run()
     _raise_on_failures(jobs, "security closure")
     return {name: jobs[job_id].result
             for name, job_id in job_ids.items()}
@@ -152,7 +182,9 @@ def variant_sweep_campaign(netlist: Netlist,
                            rundb: Optional[RunDatabase] = None,
                            timeout: Optional[float] = None,
                            retries: int = 1,
-                           batch: bool = True) -> List[Dict[str, object]]:
+                           batch: bool = True,
+                           pool: Optional[WorkerPool] = None
+                           ) -> List[Dict[str, object]]:
     """Score a family of design variants through the service.
 
     Every variant's artifact-cache key is its individual
@@ -194,7 +226,8 @@ def variant_sweep_campaign(netlist: Netlist,
         else:
             misses.append(i)
     if misses:
-        scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+        scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
+                              pool=pool)
         if batch and len(misses) > 1:
             spec = JobSpec(
                 "variant-batch",
@@ -203,13 +236,15 @@ def variant_sweep_campaign(netlist: Netlist,
                         "n_vectors": int(n_vectors)},
                 seed=seed, timeout=timeout, retries=retries)
             job_id = scheduler.submit(spec)
-            jobs = scheduler.run()
+            with _pinned_inputs(store, [input_hash], scheduler.run_id):
+                jobs = scheduler.run()
             _raise_on_failures(jobs, "variant sweep")
             for i, result in zip(misses, jobs[job_id].result["results"]):
                 results[i] = result
         else:
             job_ids = {i: scheduler.submit(eval_specs[i]) for i in misses}
-            jobs = scheduler.run()
+            with _pinned_inputs(store, [input_hash], scheduler.run_id):
+                jobs = scheduler.run()
             _raise_on_failures(jobs, "variant sweep")
             for i, job_id in job_ids.items():
                 results[i] = jobs[job_id].result
@@ -233,7 +268,8 @@ def composition_matrix_campaign(
         store: Optional[ArtifactStore] = None,
         rundb: Optional[RunDatabase] = None,
         timeout: Optional[float] = None,
-        retries: int = 1) -> Dict[str, Dict[str, object]]:
+        retries: int = 1,
+        pool: Optional[WorkerPool] = None) -> Dict[str, Dict[str, object]]:
     """Cross-effect matrix: one ``composition-stack`` job per stack.
 
     The serial equivalent walks the stacks one at a time through
@@ -248,7 +284,8 @@ def composition_matrix_campaign(
     engine_params = dict(engine_params or
                          {"n_traces": 4000, "noise_sigma": 0.25})
     store = _campaign_store(store)
-    scheduler = Scheduler(workers=workers, store=store, rundb=rundb)
+    scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
+                          pool=pool)
     job_ids = {}
     for label, stack in stacks.items():
         spec = JobSpec(

@@ -8,12 +8,17 @@ Subcommands::
     jobs     query the run database (filter by run / type / status)
     runs     list run ids with per-run summaries
     summary  aggregate run-database statistics
+    migrate  copy a JSONL run database into an indexed SQLite one
     store    artifact-store statistics
+    gc       collect unpinned, unreferenced artifacts (--dry-run)
+    pin      pin an artifact digest under a named ref
+    unpin    drop a pin ref from an artifact digest
 
 Campaign commands accept ``--workers N`` (0 = in-process), a
 ``--store`` directory for the persistent artifact cache, and a
-``--db`` path for the run database; ``--watch`` streams job state
-transitions as the scheduler makes them.
+``--db`` path for the run database (``.jsonl`` keeps the legacy
+line-oriented log; anything else is SQLite); ``--watch`` streams job
+state transitions as the scheduler makes them.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from .campaigns import (
     locking_sweep_campaign,
     security_closure_campaign,
 )
-from .rundb import RunDatabase, render_records
+from .rundb import RunDatabase, migrate_jsonl, render_records
 from .store import ArtifactStore
 
 def _present_sbox() -> Netlist:
@@ -246,9 +251,67 @@ def cmd_store(args) -> int:
         return 2
     store = ArtifactStore(args.store)
     count = len(store)
-    print(f"store {store.root}: {count} artifacts, "
-          f"{store.total_bytes()} bytes")
+    pinned = len(store.pinned_digests())
+    print(f"store {store.root}: {count} artifacts "
+          f"({pinned} pinned), {store.total_bytes()} bytes")
     return 0
+
+
+def cmd_migrate(args) -> int:
+    if not args.db:
+        print("migrate requires --db (the JSONL source)")
+        return 2
+    try:
+        count = migrate_jsonl(args.db, args.dest)
+    except ValueError as exc:
+        print(f"migration refused: {exc}")
+        return 1
+    print(f"migrated {count} records: {args.db} -> {args.dest}")
+    return 0
+
+
+def cmd_gc(args) -> int:
+    if not args.store:
+        print("gc requires --store")
+        return 2
+    store = ArtifactStore(args.store)
+    report = store.gc(dry_run=args.dry_run, grace_s=args.grace)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"gc {store.root}: {verb} {len(report.removed)} artifacts "
+          f"({report.bytes_freed} bytes); kept "
+          f"{report.kept_pinned} pinned, "
+          f"{report.kept_referenced} referenced, "
+          f"{report.kept_recent} in grace window")
+    for digest in report.removed:
+        print(f"  - {digest}")
+    return 0
+
+
+def cmd_pin(args) -> int:
+    if not args.store:
+        print("pin requires --store")
+        return 2
+    store = ArtifactStore(args.store)
+    if args.digest not in store:
+        print(f"warning: {args.digest} not (yet) in store; "
+              "pin recorded anyway")
+    store.pin(args.digest, ref=args.ref)
+    print(f"pinned {args.digest} [{args.ref}] "
+          f"(refs: {', '.join(store.pins(args.digest))})")
+    return 0
+
+
+def cmd_unpin(args) -> int:
+    if not args.store:
+        print("unpin requires --store")
+        return 2
+    store = ArtifactStore(args.store)
+    existed = store.unpin(args.digest, ref=args.ref)
+    refs = store.pins(args.digest)
+    state = "unpinned" if existed else "no such ref on"
+    print(f"{state} {args.digest} [{args.ref}]"
+          + (f" (remaining refs: {', '.join(refs)})" if refs else ""))
+    return 0 if existed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,7 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p, campaign: bool = False):
         p.add_argument("--db", default=None,
-                       help="run-database JSONL path")
+                       help="run-database path (.jsonl = legacy "
+                            "JSON-lines, else SQLite)")
         p.add_argument("--store", default=None,
                        help="artifact-store root directory")
         if campaign:
@@ -324,6 +388,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("store", help="artifact-store statistics")
     common(p)
     p.set_defaults(fn=cmd_store)
+
+    p = sub.add_parser("migrate",
+                       help="copy a JSONL run database into SQLite")
+    p.add_argument("dest", help="destination SQLite database path")
+    common(p)
+    p.set_defaults(fn=cmd_migrate)
+
+    p = sub.add_parser("gc", help="collect unreferenced artifacts")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report without deleting")
+    p.add_argument("--grace", type=float, default=300.0,
+                   help="in-flight window in seconds (default 300)")
+    common(p)
+    p.set_defaults(fn=cmd_gc)
+
+    p = sub.add_parser("pin", help="pin an artifact digest")
+    p.add_argument("digest")
+    p.add_argument("--ref", default="cli",
+                   help="pin reference name (default 'cli')")
+    common(p)
+    p.set_defaults(fn=cmd_pin)
+
+    p = sub.add_parser("unpin", help="drop a pin ref from a digest")
+    p.add_argument("digest")
+    p.add_argument("--ref", default="cli")
+    common(p)
+    p.set_defaults(fn=cmd_unpin)
     return parser
 
 

@@ -28,7 +28,7 @@ _JOB_TYPES: Dict[str, "JobType"] = {}
 
 @dataclass(frozen=True)
 class JobType:
-    """A registered job kind: its function and an auditable sample."""
+    """A registered job kind: its function and auditable samples."""
 
     name: str
     fn: Callable
@@ -36,15 +36,23 @@ class JobType:
     #: every registered type must provide them so ``check_jobs`` can
     #: prove pickle round-trip and hash stability.
     sample_params: Mapping[str, object] = field(default_factory=dict)
+    #: A representative return value.  The audit proves it pickles and
+    #: is JSON-able — i.e. the result can cross the worker pipe and
+    #: carries no process-local handles (compiled programs, solver
+    #: engines, open stores), which is the contract that keeps warm
+    #: workers' caches *inside* the worker.
+    sample_result: Mapping[str, object] = field(default_factory=dict)
 
 
 def register_job_type(name: str,
-                      sample_params: Optional[Mapping[str, object]] = None):
+                      sample_params: Optional[Mapping[str, object]] = None,
+                      sample_result: Optional[Mapping[str, object]] = None):
     """Decorator: register ``fn`` as the implementation of ``name``."""
     def wrap(fn: Callable) -> Callable:
         if name in _JOB_TYPES:
             raise ValueError(f"duplicate job type {name!r}")
-        _JOB_TYPES[name] = JobType(name, fn, dict(sample_params or {}))
+        _JOB_TYPES[name] = JobType(name, fn, dict(sample_params or {}),
+                                   dict(sample_result or {}))
         return fn
     return wrap
 
@@ -155,7 +163,9 @@ def run_job(spec: JobSpec, ctx: JobContext):
 
 @register_job_type("locking-point", sample_params={
     "netlist": "0" * 64, "key_bits": 4, "max_iterations": 100,
-    "baseline_area": None})
+    "baseline_area": None}, sample_result={
+    "key_bits": 4, "area": 12.5, "sat_attack_iterations": 3,
+    "attack_seconds": 0.01, "attack_gave_up": False})
 def _locking_point_job(params: Dict[str, object], ctx: JobContext):
     """One point of a locking sweep: lock at ``key_bits``, SAT-attack.
 
@@ -187,7 +197,9 @@ def _locking_point_job(params: Dict[str, object], ctx: JobContext):
 @register_job_type("composition-stack", sample_params={
     "design": "masked-and", "stack": ["duplication"],
     "engine": {"n_traces": 400, "noise_sigma": 0.25,
-               "n_fault_vectors": 16}})
+               "n_fault_vectors": 16}}, sample_result={
+    "design": "masked-and", "stack": ["duplication"],
+    "sca_leaks": False, "fia_detected": 1.0, "area": 40.0})
 def _composition_stack_job(params: Dict[str, object], ctx: JobContext):
     """One cross-effect matrix row: compose a named stack, re-verify.
 
@@ -206,7 +218,9 @@ def _composition_stack_job(params: Dict[str, object], ctx: JobContext):
                                      list(params["stack"]))
 
 
-@register_job_type("netlist-ppa", sample_params={"netlist": "0" * 64})
+@register_job_type("netlist-ppa", sample_params={"netlist": "0" * 64},
+                   sample_result={"area": 10.0, "delay": 3.0,
+                                  "leakage_power": 0.2, "cells": 6})
 def _netlist_ppa_job(params: Dict[str, object], ctx: JobContext):
     """PPA report of a stored netlist (cheap; DAG glue and smoke tests)."""
     from ..netlist import ppa_report
@@ -223,7 +237,9 @@ def _netlist_ppa_job(params: Dict[str, object], ctx: JobContext):
 
 @register_job_type("pytest-bench", sample_params={
     "target": "benchmarks/bench_fig1.py", "flags": [],
-    "cwd": ".", "pythonpath": "src"})
+    "cwd": ".", "pythonpath": "src"}, sample_result={
+    "target": "benchmarks/bench_fig1.py", "returncode": 0,
+    "doc": None, "tail": ""})
 def _pytest_bench_job(params: Dict[str, object], ctx: JobContext):
     """Run one pytest-benchmark target; return its benchmark JSON.
 
@@ -271,7 +287,9 @@ def _pytest_bench_job(params: Dict[str, object], ctx: JobContext):
 
 @register_job_type("route", sample_params={
     "netlist": "0" * 64, "num_layers": None,
-    "placement_iterations": 2000})
+    "placement_iterations": 2000}, sample_result={
+    "layout": "0" * 64, "nets": 5, "wirelength": 42, "vias": 3,
+    "failed_nets": []})
 def _route_job(params: Dict[str, object], ctx: JobContext):
     """Place and maze-route a stored netlist; publish the layout.
 
@@ -311,7 +329,9 @@ def _route_job(params: Dict[str, object], ctx: JobContext):
     "netlist": "0" * 64,
     "thresholds": {"probing": 0.05, "fia": 0.30, "trojan": 0.05},
     "num_layers": None, "max_iterations": 4,
-    "placement_iterations": 2000})
+    "placement_iterations": 2000}, sample_result={
+    "closed": True, "iterations": 2, "layout": "0" * 64,
+    "metrics": {"probing": 0.01}})
 def _closure_job(params: Dict[str, object], ctx: JobContext):
     """Run iterative security closure on a stored netlist.
 
@@ -395,7 +415,9 @@ def evaluate_variants(netlist, variants, n_vectors: int = 64,
     "netlist": "0" * 64,
     "variant": {"inputs": {}, "forces": {}, "flips": ["g0"],
                 "opcodes": {}},
-    "n_vectors": 16})
+    "n_vectors": 16}, sample_result={
+    "outputs": {"out": "0xffff"}, "n_vectors": 16,
+    "digest": "0" * 64})
 def _variant_eval_job(params: Dict[str, object], ctx: JobContext):
     """Score one design variant on seeded random vectors.
 
@@ -418,7 +440,10 @@ def _variant_eval_job(params: Dict[str, object], ctx: JobContext):
     "netlist": "0" * 64,
     "variants": [{"inputs": {}, "forces": {}, "flips": ["g0"],
                   "opcodes": {}}],
-    "n_vectors": 16})
+    "n_vectors": 16}, sample_result={
+    "results": [{"outputs": {"out": "0xffff"}, "n_vectors": 16,
+                 "digest": "0" * 64}],
+    "variant_hashes": ["0" * 64]})
 def _variant_batch_job(params: Dict[str, object], ctx: JobContext):
     """Score a whole variant family in one batched evaluation.
 
@@ -458,7 +483,8 @@ def _variant_batch_job(params: Dict[str, object], ctx: JobContext):
 
 @register_job_type("pass-pipeline", sample_params={
     "netlist": "0" * 64,
-    "passes": [["synthesis", {}]]})
+    "passes": [["synthesis", {}]]}, sample_result={
+    "trace": {"passes": []}, "result_netlist": "0" * 64})
 def _pass_pipeline_job(params: Dict[str, object], ctx: JobContext):
     """Run a named pass pipeline over a stored netlist.
 

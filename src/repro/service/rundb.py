@@ -1,24 +1,41 @@
-"""Append-only run database with a query API.
+"""Run database: indexed SQLite backend with a JSONL legacy fallback.
 
 Every job the scheduler finishes — succeeded, cache-served, failed,
-timed out, cancelled, or skipped — appends one JSON line here.  The
-file is the system of record for campaign forensics: *what ran, where,
-how many attempts, how long, and was it computed or served from the
+timed out, cancelled, or skipped — is recorded here.  The database is
+the system of record for campaign forensics: *what ran, where, how
+many attempts, how long, and was it computed or served from the
 artifact store*.
 
-JSONL was chosen over SQLite deliberately: appends from the scheduler
-process are atomic at line granularity, the file is greppable and
-diff-able, and the query API below loads and filters it in one pass —
-plenty for campaign-scale record counts.
+Two backends share one API (:meth:`RunDatabase.record`, ``records``,
+``query``, ``run_ids``, ``summary``), selected by
+``RunDatabase(path)`` itself:
+
+* :class:`SqliteRunDatabase` — the default for new databases.  One
+  ``records`` table indexed on ``run_id``, ``spec_hash``, ``status``
+  and ``job_type``; queries are pushed down to SQL, so a 10k-record
+  lookup touches an index, not the whole file.  WAL journaling keeps
+  concurrent readers (CLI ``runs``/``summary`` against a live
+  campaign) off the writer's back.
+* :class:`JsonlRunDatabase` — the original append-only JSON-lines
+  log, kept for greppability and for existing ``*.jsonl`` databases.
+  Reads cache the parsed prefix and its byte offset, so repeated
+  ``records()`` calls parse only the appended tail instead of
+  re-reading the whole file.
+
+``RunDatabase(path)`` dispatches on content first (an existing file's
+header decides), then on suffix (``.jsonl`` stays JSONL; anything
+else gets SQLite).  :func:`migrate_jsonl` moves a legacy log into a
+SQLite database losslessly, preserving append order and timestamps.
 """
 
 from __future__ import annotations
 
 import json
+import sqlite3
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 
 @dataclass
@@ -49,45 +66,48 @@ class RunRecord:
         return cls(**known)
 
 
+_FIELDS = ("run_id", "job_id", "job_type", "spec_hash", "status",
+           "attempts", "wall_s", "cache_hit", "worker", "error",
+           "seed", "finished_at")
+
+_FINISHED = ("succeeded", "failed", "timeout")
+
+
 class RunDatabase:
-    """JSONL-backed, append-only log of job outcomes."""
+    """Log of job outcomes; dispatches to a concrete backend.
 
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+    ``RunDatabase(path)`` returns a :class:`SqliteRunDatabase` or a
+    :class:`JsonlRunDatabase` depending on what ``path`` holds (or,
+    for a fresh path, its suffix).  Instantiating a subclass directly
+    pins the backend regardless of suffix.
+    """
 
-    # -- writing -------------------------------------------------------
+    def __new__(cls, path: Union[str, Path]) -> "RunDatabase":
+        if cls is RunDatabase:
+            return super().__new__(_backend_for(path))
+        return super().__new__(cls)
+
+    # -- writing (backend-specific) ------------------------------------
 
     def record(self, rec: RunRecord) -> None:
-        """Append one record and flush it to disk."""
-        line = json.dumps(rec.as_dict(), separators=(",", ":"))
-        with open(self.path, "a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        raise NotImplementedError
 
-    # -- reading -------------------------------------------------------
+    def record_many(self, recs: Sequence[RunRecord]) -> None:
+        """Bulk append; one transaction on SQLite."""
+        for rec in recs:
+            self.record(rec)
+
+    # -- reading (backend-specific primitives) -------------------------
 
     def records(self) -> List[RunRecord]:
-        """All records in append order (empty if the file is absent)."""
-        if not self.path.exists():
-            return []
-        out: List[RunRecord] = []
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    out.append(RunRecord.from_dict(json.loads(line)))
-                except (json.JSONDecodeError, TypeError, KeyError):
-                    continue   # a torn tail line never poisons queries
-        return out
+        raise NotImplementedError
 
     def query(self, run_id: Optional[str] = None,
               job_type: Optional[str] = None,
               status: Optional[str] = None,
               cache_hit: Optional[bool] = None,
-              since: Optional[float] = None) -> List[RunRecord]:
+              since: Optional[float] = None,
+              spec_hash: Optional[str] = None) -> List[RunRecord]:
         """Filtered view of the log; all filters are conjunctive."""
         out = []
         for rec in self.records():
@@ -100,6 +120,8 @@ class RunDatabase:
             if cache_hit is not None and rec.cache_hit != cache_hit:
                 continue
             if since is not None and rec.finished_at < since:
+                continue
+            if spec_hash is not None and rec.spec_hash != spec_hash:
                 continue
             out.append(rec)
         return out
@@ -117,8 +139,7 @@ class RunDatabase:
         by_status: Dict[str, int] = {}
         for rec in records:
             by_status[rec.status] = by_status.get(rec.status, 0) + 1
-        finished = [r for r in records
-                    if r.status in ("succeeded", "failed", "timeout")]
+        finished = [r for r in records if r.status in _FINISHED]
         hits = sum(1 for r in records if r.cache_hit)
         return {
             "records": len(records),
@@ -129,6 +150,238 @@ class RunDatabase:
             "total_attempts": sum(r.attempts for r in records),
             "runs": len({r.run_id for r in records}),
         }
+
+
+class JsonlRunDatabase(RunDatabase):
+    """Append-only JSON-lines backend (the legacy format).
+
+    Reads are incremental: the parsed records and the byte offset of
+    the parsed prefix are cached on the instance, so a ``records()``
+    call after an append parses only the new tail.  A file that
+    shrank or was replaced (different inode) triggers a full reparse;
+    a trailing line without a newline is left unconsumed until its
+    writer finishes it.  Returned records are shared with the cache —
+    treat them as read-only.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._parsed: List[RunRecord] = []
+        self._offset = 0            # bytes of file parsed so far
+        self._inode: Optional[int] = None
+
+    # -- writing -------------------------------------------------------
+
+    def record(self, rec: RunRecord) -> None:
+        """Append one record and flush it to disk."""
+        line = json.dumps(rec.as_dict(), separators=(",", ":"))
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> List[RunRecord]:
+        """All records in append order (empty if the file is absent)."""
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
+            self._parsed, self._offset, self._inode = [], 0, None
+            return []
+        if stat.st_size < self._offset or (
+                self._inode is not None and stat.st_ino != self._inode):
+            self._parsed, self._offset = [], 0
+        self._inode = stat.st_ino
+        if stat.st_size == self._offset:
+            return list(self._parsed)
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            tail = handle.read()
+        # Only complete lines are consumed: a torn tail line stays
+        # pending (and never poisons queries), exactly like the old
+        # full-scan skipped it.
+        end = tail.rfind(b"\n")
+        if end < 0:
+            return list(self._parsed)
+        for line in tail[:end + 1].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                self._parsed.append(
+                    RunRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, KeyError,
+                    UnicodeDecodeError):
+                continue
+        self._offset += end + 1
+        return list(self._parsed)
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id      TEXT NOT NULL,
+    job_id      TEXT NOT NULL,
+    job_type    TEXT NOT NULL,
+    spec_hash   TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    attempts    INTEGER NOT NULL,
+    wall_s      REAL NOT NULL,
+    cache_hit   INTEGER NOT NULL,
+    worker      TEXT NOT NULL,
+    error       TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    finished_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_run_id ON records(run_id);
+CREATE INDEX IF NOT EXISTS idx_records_spec_hash ON records(spec_hash);
+CREATE INDEX IF NOT EXISTS idx_records_status ON records(status);
+CREATE INDEX IF NOT EXISTS idx_records_job_type ON records(job_type);
+"""
+
+
+class SqliteRunDatabase(RunDatabase):
+    """SQLite backend: indexed queries, WAL for concurrent readers."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- writing -------------------------------------------------------
+
+    def record(self, rec: RunRecord) -> None:
+        self.record_many([rec])
+
+    def record_many(self, recs: Sequence[RunRecord]) -> None:
+        rows = [tuple(
+            int(getattr(r, f)) if f == "cache_hit" else getattr(r, f)
+            for f in _FIELDS) for r in recs]
+        with self._conn:
+            self._conn.executemany(
+                f"INSERT INTO records ({','.join(_FIELDS)}) "
+                f"VALUES ({','.join('?' * len(_FIELDS))})", rows)
+
+    # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def _from_row(row: Sequence[object]) -> RunRecord:
+        data = dict(zip(_FIELDS, row))
+        data["cache_hit"] = bool(data["cache_hit"])
+        return RunRecord(**data)
+
+    def _select(self, where: str = "", params: Sequence[object] = ()
+                ) -> List[RunRecord]:
+        sql = f"SELECT {','.join(_FIELDS)} FROM records"
+        if where:
+            sql += " WHERE " + where
+        sql += " ORDER BY id"
+        return [self._from_row(row)
+                for row in self._conn.execute(sql, params)]
+
+    def records(self) -> List[RunRecord]:
+        return self._select()
+
+    def query(self, run_id: Optional[str] = None,
+              job_type: Optional[str] = None,
+              status: Optional[str] = None,
+              cache_hit: Optional[bool] = None,
+              since: Optional[float] = None,
+              spec_hash: Optional[str] = None) -> List[RunRecord]:
+        clauses, params = [], []
+        for column, value in (("run_id", run_id),
+                              ("job_type", job_type),
+                              ("status", status),
+                              ("spec_hash", spec_hash)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if cache_hit is not None:
+            clauses.append("cache_hit = ?")
+            params.append(int(cache_hit))
+        if since is not None:
+            clauses.append("finished_at >= ?")
+            params.append(since)
+        return self._select(" AND ".join(clauses), params)
+
+    def run_ids(self) -> List[str]:
+        return [row[0] for row in self._conn.execute(
+            "SELECT run_id FROM records GROUP BY run_id "
+            "ORDER BY MIN(id)")]
+
+    def summary(self, run_id: Optional[str] = None) -> Dict[str, object]:
+        where, params = ("WHERE run_id = ?", (run_id,)) \
+            if run_id is not None else ("", ())
+        by_status = {
+            status: count for status, count in self._conn.execute(
+                "SELECT status, COUNT(*) FROM records "
+                f"{where} GROUP BY status ORDER BY MIN(id)", params)}
+        total, hits, attempts, runs = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(cache_hit), 0), "
+            "COALESCE(SUM(attempts), 0), COUNT(DISTINCT run_id) "
+            f"FROM records {where}", params).fetchone()
+        placeholders = ",".join("?" * len(_FINISHED))
+        (wall,) = self._conn.execute(
+            "SELECT COALESCE(SUM(wall_s), 0.0) FROM records "
+            + (where + " AND " if where else "WHERE ")
+            + f"status IN ({placeholders})",
+            tuple(params) + _FINISHED).fetchone()
+        return {
+            "records": total,
+            "by_status": by_status,
+            "cache_hits": hits,
+            "cache_hit_rate": (hits / total) if total else 0.0,
+            "total_wall_s": wall,
+            "total_attempts": attempts,
+            "runs": runs,
+        }
+
+
+def _backend_for(path: Union[str, Path]) -> type:
+    """Backend class for ``path``: content sniff, then suffix."""
+    p = Path(path)
+    try:
+        if p.stat().st_size:
+            with open(p, "rb") as handle:
+                head = handle.read(16)
+            if head.startswith(b"SQLite format 3"):
+                return SqliteRunDatabase
+            return JsonlRunDatabase
+    except FileNotFoundError:
+        pass
+    return JsonlRunDatabase if p.suffix == ".jsonl" \
+        else SqliteRunDatabase
+
+
+def migrate_jsonl(src: Union[str, Path],
+                  dest: Union[str, Path]) -> int:
+    """Copy a JSONL run log into a SQLite database, losslessly.
+
+    Append order, timestamps, and every field survive; the source is
+    left untouched.  Returns the number of records migrated.  Raises
+    if ``dest`` already holds records (a migration is one-shot, not a
+    merge).
+    """
+    source = JsonlRunDatabase(src)
+    target = SqliteRunDatabase(dest)
+    (existing,) = target._conn.execute(
+        "SELECT COUNT(*) FROM records").fetchone()
+    if existing:
+        raise ValueError(
+            f"refusing to migrate into non-empty database {dest} "
+            f"({existing} records present)")
+    records = source.records()
+    target.record_many(records)
+    return len(records)
 
 
 def render_records(records: Iterable[RunRecord]) -> str:

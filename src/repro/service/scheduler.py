@@ -6,19 +6,35 @@ dependencies forming a DAG.  :meth:`Scheduler.run` drains it:
 * **cache first** — before a job is ever dispatched, its
   ``spec_hash`` is looked up in the artifact store; a hit completes
   the job instantly (recorded as ``cache_hit`` in the run database);
-* **one process per job** — each dispatch forks a worker that sends
-  its result back over a pipe.  A worker dying mid-job (segfault,
-  ``os._exit``, OOM kill) fails *only* that job: the parent notices
-  the dead process, and retries with exponential backoff while the
-  spec's budget lasts;
-* **timeouts** — a job exceeding ``spec.timeout`` wall seconds is
-  terminated and failed (terminal by default) without stalling
-  siblings;
+* **persistent worker pool** — the default execution mode keeps
+  ``workers`` long-lived processes (:class:`WorkerPool`) that pull
+  jobs over duplex pipes.  Workers stay warm between jobs: the
+  process-local :func:`repro.netlist.engine_cache` (compiled gate
+  programs, parsed netlists) and :func:`repro.formal.solver_registry`
+  (incremental SAT state) persist for the worker's lifetime, so a
+  campaign re-evaluating the same design stops paying cold-start
+  costs.  Each worker runs a heartbeat thread; the parent detects
+  crashes (pipe EOF, process sentinel) *and* wedged-but-alive workers
+  (stale heartbeat), kills the process, respawns a fresh one, and
+  retries the job with exponential backoff while the spec's budget
+  lasts.  A pool can be shared across schedulers (``pool=``) so
+  warmth survives campaign resubmission;
+* **one process per job** — ``persistent=False`` restores the PR 4
+  fork-per-job dispatch (the comparison baseline for the warm-pool
+  benchmark);
+* **timeouts** — a job exceeding ``spec.timeout`` wall seconds has
+  its worker killed and replaced without stalling siblings;
 * **cancellation** — :meth:`cancel` withdraws a pending job (and
-  terminates it if already running); its dependents are skipped;
+  kills its worker if already running); its dependents are skipped;
 * **degradation** — ``workers=0`` runs everything in-process, in
   deterministic submission-DAG order: no pickling, no forks, no
   timeout enforcement — the debugging mode.
+
+Serial, inline, and pooled execution are bit-identical on the
+result-bearing fields: warm caches are keyed by content (transport
+digests, generated source) and the solver registry's determinism
+contract (:class:`repro.formal.SolverRegistry`) keeps model-dependent
+state out of surfaced results.
 
 The scheduler is deliberately *not* a thread pool around shared
 memory: worker isolation is the point.  The paper's campaign shape —
@@ -77,7 +93,7 @@ class Job:
 
 
 class _Running:
-    """Bookkeeping for one live worker process."""
+    """Bookkeeping for one live per-job worker process."""
 
     def __init__(self, job: Job, process, conn, started: float) -> None:
         self.job = job
@@ -88,7 +104,7 @@ class _Running:
 
 def _worker_main(conn, spec_bytes: bytes, store_root: Optional[str],
                  seed: int, dep_results: Dict[str, object]) -> None:
-    """Worker entry point: run one job, ship the outcome, exit.
+    """Per-job worker entry point: run one job, ship the outcome, exit.
 
     The spec travels pickled even under the fork start method so that
     an unpicklable spec fails loudly on every platform, not just where
@@ -115,8 +131,228 @@ def _worker_main(conn, spec_bytes: bytes, store_root: Optional[str],
             pass
 
 
+def _pool_worker_main(conn, heartbeat_interval: float) -> None:
+    """Persistent worker entry point: serve jobs until told to stop.
+
+    Protocol (duplex pipe, parent <-> worker):
+
+    * parent sends ``(task_id, spec_bytes, store_root, seed,
+      dep_results)`` tuples, or ``None`` to shut down;
+    * worker replies ``("done", task_id, "ok"|"error", payload)`` per
+      task, interleaved with ``("hb", monotonic_time)`` heartbeats
+      from a daemon thread (send-locked — the pipe is shared).
+
+    Warm state lives in the process, not this function: the engine
+    cache and solver registry are module-level singletons that survive
+    between tasks, and :class:`~repro.service.store.ArtifactStore`
+    handles are kept per root so store counters accumulate.  A task id
+    travels with every result so the parent can discard output from a
+    task it has already written off (timeout, cancellation) — though
+    in practice kills replace the whole process and pipe.
+    """
+    import pickle
+    import threading
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            with send_lock:
+                try:
+                    conn.send(("hb", time.monotonic()))
+                except (BrokenPipeError, OSError):
+                    return
+
+    threading.Thread(target=beat, daemon=True).start()
+    stores: Dict[str, ArtifactStore] = {}
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            task_id, spec_bytes, store_root, seed, dep_results = task
+            try:
+                spec: JobSpec = pickle.loads(spec_bytes)
+                store = (stores.setdefault(store_root,
+                                           ArtifactStore(store_root))
+                         if store_root else None)
+                ctx = JobContext(seed=seed, store=store,
+                                 dep_results=dep_results)
+                result = run_job(spec, ctx)
+                reply = ("done", task_id, "ok", result)
+            except BaseException:   # noqa: BLE001 — pipe is the report
+                reply = ("done", task_id, "error",
+                         traceback.format_exc())
+            try:
+                with send_lock:
+                    conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            except Exception:   # unpicklable result; pipe still clean
+                with send_lock:
+                    try:
+                        conn.send(("done", task_id, "error",
+                                   "result not picklable:\n"
+                                   + traceback.format_exc()))
+                    except (BrokenPipeError, OSError):
+                        break
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
 class SchedulerError(Exception):
     """Raised for structural scheduling mistakes (cycles, bad deps)."""
+
+
+class _PoolWorker:
+    """Parent-side handle on one persistent worker process."""
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.last_beat = time.perf_counter()
+
+    @property
+    def label(self) -> str:
+        return f"pid{self.process.pid}"
+
+
+class WorkerPool:
+    """A fixed-size set of persistent worker processes.
+
+    Standalone so it can outlive any one :class:`Scheduler`: pass the
+    same pool to successive schedulers (``Scheduler(pool=...)``) and
+    the workers' process-local caches — compiled netlist programs,
+    parsed netlists, incremental SAT engines — stay warm across
+    campaign resubmissions.  Context-manager friendly::
+
+        with WorkerPool(4) as pool:
+            Scheduler(pool=pool, store=store).run_campaign_a()
+            Scheduler(pool=pool, store=store).run_campaign_b()
+
+    ``heartbeat_interval`` is how often each worker beats;
+    ``heartbeat_timeout`` is how long the scheduler lets a *busy*
+    worker go silent before declaring it wedged and replacing it
+    (generous by default: a pure-Python job never starves the beat
+    thread for seconds, but a C-extension busy loop could).
+    Crash-killed and wedged workers are replaced in place via
+    :meth:`respawn`, keeping the pool at size; ``respawns`` counts
+    replacements for tests and telemetry.
+    """
+
+    def __init__(self, workers: int,
+                 heartbeat_interval: float = 0.2,
+                 heartbeat_timeout: Optional[float] = None,
+                 mp_context=None) -> None:
+        if workers < 1:
+            raise SchedulerError(
+                f"pool needs at least one worker, got {workers}")
+        self.size = workers
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout is not None
+            else max(25 * heartbeat_interval, 5.0))
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+        self._mp = mp_context
+        self._workers: List[_PoolWorker] = []
+        self.started = False
+        self.respawns = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self) -> _PoolWorker:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self.heartbeat_interval),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process, parent_conn)
+
+    def start(self) -> "WorkerPool":
+        if not self.started:
+            self._workers = [self._spawn() for _ in range(self.size)]
+            self.started = True
+        return self
+
+    def workers(self) -> List[_PoolWorker]:
+        """Current worker handles (replaced objects after respawns)."""
+        self.start()
+        return list(self._workers)
+
+    def respawn(self, worker: _PoolWorker) -> _PoolWorker:
+        """Kill ``worker`` and replace it in place with a fresh one.
+
+        Uses SIGKILL, not SIGTERM: a stopped (``SIGSTOP``) process
+        queues SIGTERM until continued, which would hang the join.
+        """
+        try:
+            worker.process.kill()
+        except (OSError, ValueError):
+            pass
+        worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        replacement = self._spawn()
+        self._workers[self._workers.index(worker)] = replacement
+        self.respawns += 1
+        return replacement
+
+    def shutdown(self) -> None:
+        """Stop all workers: polite ``None``, then the hammer."""
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+        self.started = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class _PoolTask:
+    """One job in flight on a pool worker."""
+
+    def __init__(self, job: Job, task_id: str, started: float) -> None:
+        self.job = job
+        self.task_id = task_id
+        self.started = started
+
+
+#: Task ids are process-global so two schedulers sharing one pool can
+#: never mis-attribute a stale in-flight result to each other.
+_TASK_IDS = itertools.count(1)
 
 
 class Scheduler:
@@ -127,6 +363,11 @@ class Scheduler:
     ``rundb`` (optional) records every outcome.  ``on_event`` is
     called as ``on_event(job)`` at each status transition — the CLI's
     watch mode.
+
+    ``persistent`` (default) executes on a :class:`WorkerPool` of
+    long-lived workers; pass an existing ``pool`` to share warm
+    workers across schedulers (the pool then outlives this run).
+    ``persistent=False`` restores the fork-per-job dispatch of PR 4.
     """
 
     def __init__(self, workers: int = 0,
@@ -134,19 +375,25 @@ class Scheduler:
                  rundb: Optional[RunDatabase] = None,
                  run_id: Optional[str] = None,
                  poll_interval: float = 0.005,
-                 on_event: Optional[Callable[[Job], None]] = None) -> None:
+                 on_event: Optional[Callable[[Job], None]] = None,
+                 persistent: bool = True,
+                 pool: Optional[WorkerPool] = None) -> None:
         if workers < 0:
             raise SchedulerError(f"workers must be >= 0, got {workers}")
-        self.workers = workers
+        self.workers = pool.size if pool is not None else workers
         self.store = store
         self.rundb = rundb
         self.run_id = run_id or (
             f"run-{os.getpid()}-{uuid.uuid4().hex[:8]}")
         self.poll_interval = poll_interval
         self.on_event = on_event
+        self.persistent = persistent or pool is not None
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []     # submission order
-        self._running: List[_Running] = []   # live worker processes
+        self._running: List[_Running] = []   # live per-job processes
+        self._shared_pool = pool
+        self._pool: Optional[WorkerPool] = pool
+        self._busy: Dict[_PoolWorker, _PoolTask] = {}
         self._ids = itertools.count(1)
         methods = multiprocessing.get_all_start_methods()
         self._mp = multiprocessing.get_context(
@@ -174,11 +421,12 @@ class Scheduler:
         """Withdraw a job; its dependents will be skipped.
 
         A job already running on a worker has its process terminated
-        and its slot freed — the worker never reports, so the
-        cancelled status is final (``_finish`` refuses double
-        transitions regardless).  In-process (``workers=0``) execution
-        cannot interrupt a job mid-run; there cancellation applies
-        only to jobs that have not started.
+        (pool mode: killed and the worker respawned) and its slot
+        freed — the worker never reports, so the cancelled status is
+        final (``_finish`` refuses double transitions regardless).
+        In-process (``workers=0``) execution cannot interrupt a job
+        mid-run; there cancellation applies only to jobs that have
+        not started.
         """
         job = self.jobs[job_id]
         if job.done:
@@ -189,6 +437,12 @@ class Scheduler:
                 entry.process.join()
                 entry.conn.close()
                 self._running.remove(entry)
+                break
+        for worker, task in list(self._busy.items()):
+            if task.job is job:
+                del self._busy[worker]
+                if self._pool is not None:
+                    self._pool.respawn(worker)
                 break
         self._finish(job, CANCELLED)
 
@@ -406,7 +660,7 @@ class Scheduler:
                               + ", ".join(failed_deps))
                     progressed = True
 
-    def _run_pool(self) -> None:
+    def _run_per_job(self) -> None:
         self._running = []
         while True:
             # Reap finished / timed-out / crashed workers.  Iterate a
@@ -449,6 +703,187 @@ class Scheduler:
                 continue
             time.sleep(self.poll_interval)
 
+    # -- persistent pool -----------------------------------------------
+
+    def _dispatch(self, job: Job, worker: _PoolWorker) -> None:
+        """Hand ``job`` to an idle pool worker."""
+        import pickle
+
+        job.attempts += 1
+        job.status = RUNNING
+        self._emit(job)
+        if job.done:
+            # cancel() fired from the RUNNING event before the task
+            # was sent; the worker was never involved, leave it idle.
+            return
+        task_id = f"t{next(_TASK_IDS)}"
+        spec_bytes = pickle.dumps(job.spec)
+        worker.last_beat = time.perf_counter()
+        try:
+            worker.conn.send((task_id, spec_bytes,
+                              str(self.store.root)
+                              if self.store is not None else None,
+                              job.spec.seed, self._dep_results(job)))
+        except (BrokenPipeError, OSError):
+            # Worker died between loop iterations; replace it and put
+            # the attempt through the normal retry policy.
+            self._pool.respawn(worker)
+            self._attempt_failed(
+                job, "worker died before accepting the job", 0.0,
+                worker.label, retryable=True)
+            return
+        except Exception:
+            # Unpicklable dependency results: the job cannot travel.
+            self._attempt_failed(
+                job, "job could not be shipped to a worker:\n"
+                + traceback.format_exc(), 0.0, worker.label,
+                retryable=True)
+            return
+        self._busy[worker] = _PoolTask(job, task_id,
+                                       time.perf_counter())
+
+    def _pool_message(self, worker: _PoolWorker, message) -> None:
+        """Process one parent-bound pipe message from ``worker``."""
+        if message[0] == "hb":
+            worker.last_beat = time.perf_counter()
+            return
+        _, task_id, status, payload = message
+        task = self._busy.get(worker)
+        if task is None or task.task_id != task_id:
+            return  # stale result for a task already written off
+        del self._busy[worker]
+        job = task.job
+        wall = time.perf_counter() - task.started
+        if status == "ok":
+            self._finish(job, SUCCEEDED, result=payload, wall_s=wall,
+                         worker=worker.label)
+        else:
+            self._attempt_failed(job, str(payload), wall, worker.label,
+                                 retryable=True)
+
+    def _pool_worker_died(self, worker: _PoolWorker) -> None:
+        """A pool worker's process ended or its pipe broke."""
+        task = self._busy.pop(worker, None)
+        exitcode = worker.process.exitcode
+        self._pool.respawn(worker)
+        if task is not None and not task.job.done:
+            wall = time.perf_counter() - task.started
+            self._attempt_failed(
+                task.job,
+                f"worker crashed with exit code {exitcode} "
+                "before reporting", wall, worker.label,
+                retryable=True)
+
+    def _pool_deadlines(self) -> Optional[float]:
+        """Kill over-budget / wedged workers; next deadline or None."""
+        now = time.perf_counter()
+        next_deadline: Optional[float] = None
+        for worker, task in list(self._busy.items()):
+            job = task.job
+            timeout = job.spec.timeout
+            if timeout is not None and now - task.started > timeout:
+                del self._busy[worker]
+                self._pool.respawn(worker)
+                wall = now - task.started
+                error = (f"timeout: exceeded {timeout:.3f}s budget "
+                         f"after {wall:.3f}s")
+                if job.spec.retry_on_timeout:
+                    self._attempt_failed(job, error, wall,
+                                         worker.label, retryable=True,
+                                         terminal_status=TIMEOUT)
+                else:
+                    self._finish(job, TIMEOUT, error=error,
+                                 wall_s=wall, worker=worker.label)
+                continue
+            hb_deadline = (worker.last_beat
+                           + self._pool.heartbeat_timeout)
+            if worker.process.is_alive() and now > hb_deadline:
+                del self._busy[worker]
+                self._pool.respawn(worker)
+                wall = now - task.started
+                self._attempt_failed(
+                    job,
+                    "worker wedged: no heartbeat for "
+                    f"{now - worker.last_beat:.3f}s", wall,
+                    worker.label, retryable=True)
+                continue
+            if timeout is not None:
+                deadline = task.started + timeout
+                if next_deadline is None or deadline < next_deadline:
+                    next_deadline = deadline
+            if next_deadline is None or hb_deadline < next_deadline:
+                next_deadline = hb_deadline
+        return next_deadline
+
+    def _run_pooled(self) -> None:
+        from multiprocessing.connection import wait as _conn_wait
+
+        pool = self._pool
+        pool.start()
+        self._busy = {}
+        while True:
+            self._skip_blocked()
+            # Launch ready jobs onto idle workers (submission order; a
+            # job in backoff yields its slot to later ready jobs).
+            now = time.perf_counter()
+            idle = [w for w in pool.workers() if w not in self._busy]
+            for job_id in self._order:
+                if not idle:
+                    break
+                job = self.jobs[job_id]
+                if (job.done or job.status == RUNNING
+                        or self._dep_state(job) != "ready"
+                        or job.not_before > now):
+                    continue
+                if self._serve_from_cache(job):
+                    continue
+                self._dispatch(job, idle.pop(0))
+            self._skip_blocked()
+            if all(job.done for job in self.jobs.values()):
+                break
+            # Sleep until something can happen: a worker message, a
+            # worker death (sentinel), a job/heartbeat deadline, or a
+            # backoff gate opening.  Event-driven — no fixed-rate
+            # polling while jobs run.
+            deadline = self._pool_deadlines()
+            now = time.perf_counter()
+            gates = [job.not_before for job in self.jobs.values()
+                     if not job.done and job.status != RUNNING
+                     and job.not_before > now]
+            if gates:
+                gate = min(gates)
+                if deadline is None or gate < deadline:
+                    deadline = gate
+            wait_s = 0.5 if deadline is None \
+                else max(0.0, min(deadline - now, 0.5))
+            handles = {}
+            for worker in pool.workers():
+                handles[worker.conn] = worker
+                handles[worker.process.sentinel] = worker
+            ready = _conn_wait(list(handles), timeout=wait_s)
+            dead = []
+            for handle in ready:
+                worker = handles[handle]
+                if handle is worker.conn:
+                    try:
+                        while worker.conn.poll():
+                            self._pool_message(worker,
+                                               worker.conn.recv())
+                    except (EOFError, OSError):
+                        dead.append(worker)
+                elif not worker.process.is_alive():
+                    dead.append(worker)
+            for worker in dict.fromkeys(dead):
+                # Drain any result sent before death, then handle it.
+                try:
+                    while worker.conn.poll():
+                        self._pool_message(worker, worker.conn.recv())
+                except (EOFError, OSError):
+                    pass
+                if worker in pool.workers():
+                    self._pool_worker_died(worker)
+            self._pool_deadlines()
+
     # -- entry point ---------------------------------------------------
 
     def run(self) -> Dict[str, Job]:
@@ -456,8 +891,19 @@ class Scheduler:
         self._check_acyclic()
         if self.workers == 0:
             self._run_inline()
+        elif not self.persistent:
+            self._run_per_job()
         else:
-            self._run_pool()
+            owned = self._shared_pool is None
+            if owned:
+                self._pool = WorkerPool(self.workers,
+                                        mp_context=self._mp)
+            try:
+                self._run_pooled()
+            finally:
+                if owned:
+                    self._pool.shutdown()
+                    self._pool = None
         return dict(self.jobs)
 
     def _check_acyclic(self) -> None:

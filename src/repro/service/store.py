@@ -9,18 +9,32 @@ store hit instead of a recomputation.
 
 Layout: artifacts live under ``root/<digest[:2]>/<digest[2:]>.json`` —
 sharded by the first byte so no directory grows unboundedly.  Writes
-are atomic (``os.replace`` of a same-directory temp file), so
-concurrent workers racing to publish the same artifact are harmless:
-last writer wins with identical content.
+are atomic (``os.replace`` of a same-directory temp file) and
+*idempotent*: content addressing means a digest that already exists
+needs no second write, so concurrent multi-writer publication is
+lock-free — racers either skip (digest present) or replace with
+identical bytes.
+
+Lifecycle: artifacts can be **pinned** under named references
+(``pin``/``unpin`` — ref-counted via files in ``root/.pins/``, so
+pinning is also lock-free and multi-process safe), and the store can
+be **garbage-collected** (:meth:`ArtifactStore.gc`): a mark-and-sweep
+from the pinned roots, following digest references embedded in
+artifact payloads, that removes everything unreachable — except
+artifacts younger than a grace window, which protects results that a
+live campaign has published but not yet pinned or referenced.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Set, Union
 
 from ..netlist import (
     Netlist,
@@ -43,11 +57,31 @@ def result_key(input_hash: str, pipeline_hash: str, seed: int) -> str:
                         "seed": seed})
 
 
+#: Anything that looks like a store digest inside a payload: the JSON
+#: scan treats these as references for the garbage collector's mark
+#: phase.  SHA-256 hex, the store's native address format.
+_DIGEST_RE = re.compile(r"\A[0-9a-f]{64}\Z")
+
+
+@dataclass
+class GcReport:
+    """Outcome of one :meth:`ArtifactStore.gc` pass."""
+
+    removed: List[str] = field(default_factory=list)
+    kept_pinned: int = 0
+    kept_referenced: int = 0
+    kept_recent: int = 0
+    bytes_freed: int = 0
+    dry_run: bool = False
+
+
 class ArtifactStore:
     """Sharded, content-addressed JSON artifact store.
 
     ``hits`` / ``misses`` count :meth:`get` traffic in this process;
-    the authoritative cross-process record is the run database.
+    ``writes`` / ``dedup_skips`` count :meth:`put` traffic (a skip is
+    a put whose digest already existed — the idempotent fast path).
+    The authoritative cross-process record is the run database.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -55,6 +89,8 @@ class ArtifactStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.writes = 0
+        self.dedup_skips = 0
 
     # -- addressing ----------------------------------------------------
 
@@ -69,8 +105,19 @@ class ArtifactStore:
     # -- generic JSON artifacts ----------------------------------------
 
     def put(self, digest: str, payload: Dict[str, object]) -> Path:
-        """Atomically persist ``payload`` under ``digest``."""
+        """Idempotently persist ``payload`` under ``digest``.
+
+        Content addressing makes publication lock-free across any
+        number of writers: a digest that already exists is skipped
+        (same digest ⇒ same content, so there is nothing to write),
+        and racers that miss the existence check atomically
+        ``os.replace`` identical bytes.  No writer ever observes a
+        half-written artifact.
+        """
         path = self._path(digest)
+        if path.exists():
+            self.dedup_skips += 1
+            return path
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -81,6 +128,7 @@ class ArtifactStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self.writes += 1
         return path
 
     def get(self, digest: str) -> Optional[Dict[str, object]]:
@@ -89,10 +137,18 @@ class ArtifactStore:
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            # A torn read can only happen for a file that exists but is
-            # mid-publish from another worker; treat it as a miss — the
-            # recomputation republishes identical content.
+        except json.JSONDecodeError:
+            # Publication is atomic, so undecodable content is genuine
+            # corruption (a crashed writer on a non-POSIX rename, disk
+            # trouble).  Unlink it so the recomputation's put() can
+            # repair the slot instead of being dedup-skipped forever.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        except OSError:
             self.misses += 1
             return None
         self.hits += 1
@@ -117,12 +173,183 @@ class ArtifactStore:
             self.put(digest, netlist_to_dict(netlist))
         return digest
 
-    def get_netlist(self, digest: str) -> Optional[Netlist]:
-        """Load a netlist artifact back into a :class:`Netlist`."""
+    def get_netlist(self, digest: str,
+                    cache: bool = True) -> Optional[Netlist]:
+        """Load a netlist artifact back into a :class:`Netlist`.
+
+        Served through the process-local
+        :func:`~repro.netlist.engine_cache` by default: a warm worker
+        re-loading the design it just evaluated skips the parse *and*
+        keeps the compiled simulation program attached to the cached
+        instance.  Safe because the key is content-addressed and the
+        cache validates the netlist's mutation epoch — a client that
+        mutated the shared instance in place merely forces the next
+        load to re-parse.  The store is still consulted for existence,
+        so a GC'd artifact reads as absent everywhere.
+        """
+        if cache:
+            from ..netlist import engine_cache
+
+            cached = engine_cache().get_netlist("artifact:" + digest)
+            if cached is not None and digest in self:
+                self.hits += 1
+                return cached
         payload = self.get(digest)
         if payload is None:
             return None
-        return netlist_from_dict(payload)
+        netlist = netlist_from_dict(payload)
+        if cache:
+            engine_cache().put_netlist("artifact:" + digest, netlist)
+        return netlist
+
+    # -- pinning -------------------------------------------------------
+
+    _REF_OK = re.compile(r"\A[A-Za-z0-9._:@-]{1,128}\Z")
+
+    def _pin_dir(self, digest: str) -> Path:
+        if len(digest) < 3:
+            raise ValueError(f"digest too short: {digest!r}")
+        return self.root / ".pins" / digest
+
+    def pin(self, digest: str, ref: str = "default") -> None:
+        """Pin ``digest`` under a named reference.
+
+        Pins are plain files (``root/.pins/<digest>/<ref>``), so
+        pinning is idempotent per ``(digest, ref)``, ref-counted
+        across distinct refs, and safe from any number of processes
+        without locks.  A pinned artifact (and everything its payload
+        references) is a GC root.
+        """
+        if not self._REF_OK.match(ref):
+            raise ValueError(f"invalid pin ref: {ref!r}")
+        pin_dir = self._pin_dir(digest)
+        pin_dir.mkdir(parents=True, exist_ok=True)
+        (pin_dir / ref).touch()
+
+    def unpin(self, digest: str, ref: str = "default") -> bool:
+        """Drop one reference; returns True if it existed."""
+        if not self._REF_OK.match(ref):
+            raise ValueError(f"invalid pin ref: {ref!r}")
+        pin_dir = self._pin_dir(digest)
+        try:
+            (pin_dir / ref).unlink()
+        except FileNotFoundError:
+            return False
+        try:
+            pin_dir.rmdir()     # only succeeds when no refs remain
+        except OSError:
+            pass
+        return True
+
+    def pins(self, digest: str) -> List[str]:
+        """Refs currently pinning ``digest`` (sorted)."""
+        try:
+            return sorted(p.name for p in self._pin_dir(digest).iterdir())
+        except FileNotFoundError:
+            return []
+
+    def is_pinned(self, digest: str) -> bool:
+        return bool(self.pins(digest))
+
+    def pinned_digests(self) -> Set[str]:
+        """All digests with at least one pin ref."""
+        pins_root = self.root / ".pins"
+        if not pins_root.is_dir():
+            return set()
+        return {d.name for d in pins_root.iterdir()
+                if d.is_dir() and any(d.iterdir())}
+
+    # -- garbage collection --------------------------------------------
+
+    @staticmethod
+    def _scan_refs(payload: object, out: Set[str]) -> None:
+        """Collect digest-shaped strings reachable inside ``payload``."""
+        if isinstance(payload, str):
+            if _DIGEST_RE.match(payload):
+                out.add(payload)
+        elif isinstance(payload, dict):
+            for key, value in payload.items():
+                ArtifactStore._scan_refs(key, out)
+                ArtifactStore._scan_refs(value, out)
+        elif isinstance(payload, (list, tuple)):
+            for value in payload:
+                ArtifactStore._scan_refs(value, out)
+
+    def referenced_digests(self, digest: str) -> Set[str]:
+        """Digests the artifact under ``digest`` refers to (one hop)."""
+        payload = self.get(digest)
+        refs: Set[str] = set()
+        if payload is not None:
+            self._scan_refs(payload, refs)
+        refs.discard(digest)
+        return refs
+
+    def gc(self, dry_run: bool = False,
+           grace_s: float = 300.0) -> GcReport:
+        """Mark-and-sweep unreachable artifacts.
+
+        Roots are the pinned digests; the mark phase follows digest
+        references embedded in artifact payloads transitively, so a
+        pinned campaign result keeps the input netlists it points at.
+        Artifacts modified within the last ``grace_s`` seconds are
+        never collected — that is the in-flight window protecting
+        results a live run has published but not yet pinned (and any
+        artifact a racer is just now re-publishing).  ``dry_run``
+        reports what a real pass would remove without touching disk.
+        Stale ``*.tmp`` droppings older than the grace window are
+        swept alongside.
+        """
+        now = time.time()
+        present = set(self.digests())
+        pinned = self.pinned_digests()
+        marked: Set[str] = set()
+        frontier = [d for d in pinned if d in present]
+        while frontier:
+            digest = frontier.pop()
+            if digest in marked:
+                continue
+            marked.add(digest)
+            for ref in self.referenced_digests(digest):
+                if ref in present and ref not in marked:
+                    frontier.append(ref)
+        report = GcReport(dry_run=dry_run)
+        for digest in sorted(present):
+            if digest in pinned:
+                report.kept_pinned += 1
+                continue
+            if digest in marked:
+                report.kept_referenced += 1
+                continue
+            path = self._path(digest)
+            try:
+                mtime = path.stat().st_mtime
+            except FileNotFoundError:
+                continue    # a concurrent GC or client removed it
+            if now - mtime < grace_s:
+                report.kept_recent += 1
+                continue
+            report.removed.append(digest)
+            try:
+                report.bytes_freed += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+            except OSError:
+                pass
+        if not dry_run:
+            for shard in self.root.iterdir():
+                if not shard.is_dir() or len(shard.name) != 2:
+                    continue
+                for tmp in shard.glob("*.tmp"):
+                    try:
+                        if now - tmp.stat().st_mtime >= grace_s:
+                            tmp.unlink()
+                    except OSError:
+                        pass
+                try:
+                    shard.rmdir()   # only if now empty
+                except OSError:
+                    pass
+        return report
 
     # -- introspection -------------------------------------------------
 

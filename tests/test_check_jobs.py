@@ -69,6 +69,71 @@ class TestJobRegistryAudit:
         assert "t-bad-params" in problems
         assert "JSON" in problems
 
+    def test_audit_catches_unportable_sample_result(self):
+        # A result that cannot pickle or JSON-serialise would smuggle
+        # a process-local handle out of a warm worker.
+        from repro.service import jobs as jobs_mod
+        from repro.service.jobs import JobType
+
+        check_jobs = load_check_jobs()
+
+        def documented(params, ctx):
+            """Documented, but declares a handle-bearing result."""
+            return None
+
+        jobs_mod._JOB_TYPES["t-bad-result"] = JobType(
+            "t-bad-result", documented, {"n": 1},
+            sample_result={"engine": object()})
+        try:
+            problems = "\n".join(check_jobs.audit())
+        finally:
+            del jobs_mod._JOB_TYPES["t-bad-result"]
+        assert "t-bad-result" in problems
+        assert "sample_result is not JSON-able" in problems
+        assert check_jobs.audit() == []
+
+    def test_audit_catches_missing_sample_result(self):
+        from repro.service import jobs as jobs_mod
+        from repro.service.jobs import JobType
+
+        check_jobs = load_check_jobs()
+
+        def documented(params, ctx):
+            """Documented, but declares no result shape."""
+            return None
+
+        jobs_mod._JOB_TYPES["t-no-result"] = JobType(
+            "t-no-result", documented, {"n": 1})
+        try:
+            problems = "\n".join(check_jobs.audit())
+        finally:
+            del jobs_mod._JOB_TYPES["t-no-result"]
+        assert "t-no-result: no sample_result declared" in problems
+
+    def test_audit_catches_closure_capture(self):
+        # A warm worker runs many jobs; captured mutable state would
+        # make results depend on execution history.
+        from repro.service import jobs as jobs_mod
+        from repro.service.jobs import JobType
+
+        check_jobs = load_check_jobs()
+        state = {"calls": 0}
+
+        def capturing(params, ctx):
+            """Documented, but drags closure state into the worker."""
+            state["calls"] += 1
+            return {"calls": state["calls"]}
+
+        jobs_mod._JOB_TYPES["t-closure"] = JobType(
+            "t-closure", capturing, {"n": 1},
+            sample_result={"calls": 1})
+        try:
+            problems = "\n".join(check_jobs.audit())
+        finally:
+            del jobs_mod._JOB_TYPES["t-closure"]
+        assert "t-closure" in problems
+        assert "captures closure state" in problems
+
     def test_script_exits_zero_on_clean_registry(self):
         proc = subprocess.run(
             [sys.executable, str(REPO_ROOT / "scripts" /

@@ -241,3 +241,32 @@ class TestDfx:
         for event in events:
             controller.handle_alarm(event)
         assert len(controller.log) == 4
+
+
+class TestSharedAtpgEngine:
+    def test_same_structure_reuses_one_engine(self):
+        from repro.dft import shared_atpg_engine
+        from repro.formal import reset_solver_registry
+
+        reset_solver_registry()
+        engine = shared_atpg_engine(c17())
+        assert shared_atpg_engine(c17()) is engine      # warm reuse
+        other = random_circuit(4, 12, 2, seed=5)
+        assert shared_atpg_engine(other) is not engine  # keyed by content
+        reset_solver_registry()
+
+    def test_warm_engine_verdicts_match_cold(self):
+        # The registry's determinism contract: detectability verdicts
+        # (not vectors) are what warm clients may surface.
+        from repro.dft import shared_atpg_engine
+        from repro.formal import reset_solver_registry
+
+        reset_solver_registry()
+        netlist = c17()
+        fault = Fault("G10", FaultKind.STUCK_AT_0)
+        cold = generate_test_for_fault(netlist, fault) is not None
+        warm_engine = shared_atpg_engine(netlist)
+        warm = warm_engine.test_for_fault(fault) is not None
+        rewarm = warm_engine.test_for_fault(fault) is not None
+        assert cold == warm == rewarm
+        reset_solver_registry()

@@ -13,9 +13,12 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.netlist import (
+    EngineCache,
     GateType,
     Netlist,
+    engine_cache,
     get_compiled,
+    reset_engine_cache,
     simulate,
     simulate_reference,
 )
@@ -165,3 +168,100 @@ def test_empty_and_input_only_netlists():
     wires.add_input("a")
     wires.add_output("a")
     assert simulate(wires, {"a": 0b101}, width=3) == {"a": 0b101}
+
+
+class TestEngineCache:
+    """The process-local warm-state cache backing persistent workers."""
+
+    def test_identical_sources_share_one_program(self):
+        cache = EngineCache()
+        src = "def _c(values, mask):\n    pass\n"
+        first = cache.program([src])
+        assert cache.program([src]) is first
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_program_lru_evicts_oldest(self):
+        cache = EngineCache(max_programs=2)
+        srcs = [f"def _c(values, mask):\n    x = {i}\n"
+                for i in range(3)]
+        a = cache.program([srcs[0]])
+        cache.program([srcs[1]])
+        cache.program([srcs[0]])     # touch: 0 is now most recent
+        cache.program([srcs[2]])     # evicts 1, not 0
+        assert cache.stats()["evictions"] == 1
+        assert cache.program([srcs[0]]) is a      # still cached
+        assert cache.stats()["programs"] == 2
+
+    def test_netlist_round_trip_and_counters(self):
+        cache = EngineCache()
+        netlist = c17()
+        assert cache.get_netlist("k") is None     # miss
+        cache.put_netlist("k", netlist)
+        assert cache.get_netlist("k") is netlist  # hit
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_mutated_netlist_is_dropped_not_served(self):
+        # Callers treat cached netlists as read-only; a violation must
+        # surface as a recompute, never as a stale structure.
+        cache = EngineCache()
+        netlist = c17()
+        cache.put_netlist("k", netlist)
+        netlist.add_gate("extra", GateType.NOT, [netlist.outputs[0]])
+        assert cache.get_netlist("k") is None
+        assert cache.stats()["netlists"] == 0     # entry dropped
+
+    def test_netlist_builder_called_once(self):
+        cache = EngineCache()
+        built = []
+
+        def build():
+            built.append(1)
+            return c17()
+
+        first = cache.netlist("k", build)
+        assert cache.netlist("k", build) is first
+        assert built == [1]
+
+    def test_netlist_lru_bound(self):
+        cache = EngineCache(max_netlists=2)
+        for i in range(3):
+            cache.put_netlist(f"k{i}", c17())
+        assert cache.get_netlist("k0") is None    # evicted
+        assert cache.get_netlist("k2") is not None
+
+    def test_clear_resets_pools_and_counters(self):
+        cache = EngineCache()
+        cache.put_netlist("k", c17())
+        cache.get_netlist("k")
+        cache.clear()
+        assert cache.stats() == {
+            "programs": 0, "netlists": 0,
+            "hits": 0, "misses": 0, "evictions": 0}
+
+    def test_singleton_is_process_local_and_resettable(self):
+        reset_engine_cache()
+        first = engine_cache()
+        assert engine_cache() is first
+        reset_engine_cache()
+        assert engine_cache() is not first
+
+    def test_simulate_warms_the_shared_program_pool(self):
+        # The compiled-engine path routes through engine_cache(): two
+        # structurally identical netlists compile one program.  Codegen
+        # is lazy (second evaluation on), hence the repeat simulations.
+        reset_engine_cache()
+        first = c17()
+        stim = {name: 1 for name in first.inputs}
+        for _ in range(3):
+            simulate(first, stim)
+        warm = engine_cache().stats()
+        assert warm["programs"] == 1
+        second = c17()
+        for _ in range(3):
+            simulate(second, stim)
+        after = engine_cache().stats()
+        assert after["programs"] == 1     # shared, not recompiled
+        assert after["hits"] > warm["hits"]
+        reset_engine_cache()

@@ -314,3 +314,65 @@ def test_equivalence_random_property(seed):
     n = random_circuit(5, 30, 2, seed=seed)
     m = synthesize(n)
     assert check_equivalence(n, m).equivalent
+
+
+class TestSolverRegistry:
+    """Bounded process-local reuse of incremental solver engines."""
+
+    def _registry(self):
+        from repro.formal import SolverRegistry
+        return SolverRegistry(max_entries=2)
+
+    def test_get_or_create_builds_once(self):
+        registry = self._registry()
+        built = []
+
+        def factory():
+            built.append(1)
+            return Solver()
+
+        first = registry.get_or_create("k", factory)
+        assert registry.get_or_create("k", factory) is first
+        assert built == [1]
+        assert registry.stats()["hits"] == 1
+        assert registry.stats()["misses"] == 1
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        registry = self._registry()
+        a = registry.get_or_create("a", Solver)
+        registry.get_or_create("b", Solver)
+        registry.get_or_create("a", Solver)    # touch: a most recent
+        registry.get_or_create("c", Solver)    # evicts b
+        assert "b" not in registry
+        assert registry.get("a") is a
+        assert len(registry) == 2
+        assert registry.stats()["evictions"] == 1
+
+    def test_discard_and_clear(self):
+        registry = self._registry()
+        registry.get_or_create("k", Solver)
+        registry.discard("k")
+        assert registry.get("k") is None
+        registry.get_or_create("k", Solver)
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.stats()["hits"] == 0
+
+    def test_singleton_is_resettable(self):
+        from repro.formal import reset_solver_registry, solver_registry
+
+        reset_solver_registry()
+        first = solver_registry()
+        assert solver_registry() is first
+        reset_solver_registry()
+        assert solver_registry() is not first
+
+    def test_warm_solver_preserves_verdicts(self):
+        # The determinism contract: reuse may change models, never
+        # SAT/UNSAT verdicts.  Re-prove equivalence through one warm
+        # encoder-backed check and a cold one.
+        n = random_circuit(4, 15, 2, seed=11)
+        m = synthesize(n)
+        cold = check_equivalence(n, m).equivalent
+        warm = check_equivalence(n, m).equivalent
+        assert cold == warm is True

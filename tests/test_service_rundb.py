@@ -1,0 +1,279 @@
+"""Run database backends: dispatch, parity, migration, tail caching.
+
+The SQLite backend must be observationally identical to the JSONL one
+through the public API (``records``/``query``/``run_ids``/``summary``/
+``render_records``) — the CLI and campaign clients never know which
+they are talking to.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.service import (
+    JsonlRunDatabase,
+    RunDatabase,
+    RunRecord,
+    SqliteRunDatabase,
+    migrate_jsonl,
+    render_records,
+)
+
+
+def _make_records():
+    """A small, shape-diverse log spanning two runs."""
+    return [
+        RunRecord("run-a", "j0001-lock", "locking-point", "aa" * 32,
+                  "succeeded", attempts=1, wall_s=0.5, cache_hit=False,
+                  worker="pid100", seed=1, finished_at=1000.0),
+        RunRecord("run-a", "j0002-lock", "locking-point", "bb" * 32,
+                  "succeeded", attempts=2, wall_s=1.25, cache_hit=True,
+                  worker="cache", seed=2, finished_at=1001.0),
+        RunRecord("run-a", "j0003-route", "route", "cc" * 32,
+                  "failed", attempts=3, wall_s=2.0, cache_hit=False,
+                  worker="pid101", error="Traceback\nboom", seed=3,
+                  finished_at=1002.0),
+        RunRecord("run-b", "j0001-close", "closure", "dd" * 32,
+                  "timeout", attempts=1, wall_s=5.0, cache_hit=False,
+                  worker="pid102", error="timeout: exceeded", seed=4,
+                  finished_at=1003.5),
+        RunRecord("run-b", "j0002-close", "closure", "aa" * 32,
+                  "skipped", attempts=0, wall_s=0.0, cache_hit=False,
+                  error="dependency failed: j0001-close", seed=5,
+                  finished_at=1004.0),
+    ]
+
+
+class TestBackendDispatch:
+    def test_suffix_selects_backend_for_fresh_paths(self, tmp_path):
+        assert isinstance(RunDatabase(tmp_path / "runs.jsonl"),
+                          JsonlRunDatabase)
+        assert isinstance(RunDatabase(tmp_path / "runs.db"),
+                          SqliteRunDatabase)
+        assert isinstance(RunDatabase(tmp_path / "runs.sqlite"),
+                          SqliteRunDatabase)
+
+    def test_content_overrides_suffix(self, tmp_path):
+        # An existing file's header decides: a JSONL log named .db
+        # must not be opened as SQLite (and vice versa) — suffixes
+        # lie, headers do not.
+        jsonl_named_db = tmp_path / "legacy.db"
+        JsonlRunDatabase(jsonl_named_db).record(_make_records()[0])
+        assert isinstance(RunDatabase(jsonl_named_db), JsonlRunDatabase)
+
+        sqlite_named_jsonl = tmp_path / "modern.jsonl"
+        db = SqliteRunDatabase(sqlite_named_jsonl)
+        db.record(_make_records()[0])
+        db.close()
+        assert isinstance(RunDatabase(sqlite_named_jsonl),
+                          SqliteRunDatabase)
+
+    def test_direct_subclass_pins_backend(self, tmp_path):
+        assert isinstance(JsonlRunDatabase(tmp_path / "x.db"),
+                          JsonlRunDatabase)
+        assert isinstance(SqliteRunDatabase(tmp_path / "x.jsonl"),
+                          SqliteRunDatabase)
+
+    def test_sqlite_is_indexed(self, tmp_path):
+        db = SqliteRunDatabase(tmp_path / "runs.db")
+        names = {row[0] for row in db._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index'")}
+        for column in ("run_id", "spec_hash", "status", "job_type"):
+            assert f"idx_records_{column}" in names
+        db.close()
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def db(request, tmp_path):
+    if request.param == "jsonl":
+        return JsonlRunDatabase(tmp_path / "runs.jsonl")
+    return SqliteRunDatabase(tmp_path / "runs.db")
+
+
+class TestBackendParity:
+    """Every public read path, exercised identically on both backends."""
+
+    def test_records_round_trip_in_order(self, db):
+        records = _make_records()
+        db.record_many(records)
+        assert db.records() == records
+
+    def test_query_filters(self, db):
+        records = _make_records()
+        db.record_many(records)
+        assert db.query(run_id="run-a") == records[:3]
+        assert db.query(job_type="closure") == records[3:]
+        assert db.query(status="succeeded") == records[:2]
+        assert db.query(cache_hit=True) == [records[1]]
+        assert db.query(since=1002.0) == records[2:]
+        assert db.query(spec_hash="aa" * 32) == [records[0], records[4]]
+        assert db.query(run_id="run-a", status="failed") == [records[2]]
+        assert db.query(run_id="run-z") == []
+
+    def test_run_ids_first_seen_order(self, db):
+        db.record_many(_make_records())
+        assert db.run_ids() == ["run-a", "run-b"]
+
+    def test_summary(self, db):
+        db.record_many(_make_records())
+        summary = db.summary()
+        assert summary["records"] == 5
+        assert summary["by_status"] == {
+            "succeeded": 2, "failed": 1, "timeout": 1, "skipped": 1}
+        assert summary["cache_hits"] == 1
+        assert summary["cache_hit_rate"] == pytest.approx(0.2)
+        # Wall time sums only finished work: skipped jobs never ran.
+        assert summary["total_wall_s"] == pytest.approx(8.75)
+        assert summary["total_attempts"] == 7
+        assert summary["runs"] == 2
+
+    def test_summary_scoped_to_run(self, db):
+        db.record_many(_make_records())
+        summary = db.summary(run_id="run-b")
+        assert summary["records"] == 2
+        assert summary["by_status"] == {"timeout": 1, "skipped": 1}
+        assert summary["runs"] == 1
+
+    def test_empty_database(self, db):
+        assert db.records() == []
+        assert db.run_ids() == []
+        assert db.summary() == {
+            "records": 0, "by_status": {}, "cache_hits": 0,
+            "cache_hit_rate": 0.0, "total_wall_s": 0.0,
+            "total_attempts": 0, "runs": 0}
+
+    def test_render_is_backend_independent(self, db):
+        db.record_many(_make_records())
+        rendered = render_records(db.records())
+        assert "j0001-lock" in rendered
+        assert "boom" not in rendered          # only the first line
+        assert "Traceback" in rendered
+
+
+class TestMigration:
+    def test_round_trip_is_lossless(self, tmp_path):
+        src = tmp_path / "legacy.jsonl"
+        dest = tmp_path / "runs.db"
+        records = _make_records()
+        JsonlRunDatabase(src).record_many(records)
+        assert migrate_jsonl(src, dest) == len(records)
+        migrated = RunDatabase(dest)
+        assert isinstance(migrated, SqliteRunDatabase)
+        # Every field survives, including timestamps and append order.
+        assert migrated.records() == records
+        assert migrated.summary() == JsonlRunDatabase(src).summary()
+        assert render_records(migrated.records()) == \
+            render_records(JsonlRunDatabase(src).records())
+        # The source is untouched.
+        assert JsonlRunDatabase(src).records() == records
+
+    def test_refuses_non_empty_destination(self, tmp_path):
+        src = tmp_path / "legacy.jsonl"
+        dest = tmp_path / "runs.db"
+        JsonlRunDatabase(src).record_many(_make_records())
+        SqliteRunDatabase(dest).record(_make_records()[0])
+        with pytest.raises(ValueError, match="refusing"):
+            migrate_jsonl(src, dest)
+
+    def test_empty_source_migrates_to_empty_database(self, tmp_path):
+        assert migrate_jsonl(tmp_path / "none.jsonl",
+                             tmp_path / "runs.db") == 0
+        assert RunDatabase(tmp_path / "runs.db").records() == []
+
+
+class TestJsonlTailCaching:
+    def test_appends_are_parsed_incrementally(self, tmp_path):
+        db = JsonlRunDatabase(tmp_path / "runs.jsonl")
+        records = _make_records()
+        db.record_many(records[:2])
+        assert db.records() == records[:2]
+        offset_after_two = db._offset
+        db.record_many(records[2:])
+        assert db.records() == records
+        # The cached prefix was not re-read: the offset only advanced.
+        assert db._offset > offset_after_two
+
+    def test_torn_tail_line_stays_pending(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        db = JsonlRunDatabase(path)
+        records = _make_records()
+        db.record_many(records[:2])
+        assert db.records() == records[:2]
+        # A writer mid-append: no trailing newline yet.
+        line = json.dumps(records[2].as_dict())
+        with open(path, "a") as handle:
+            handle.write(line[:20])
+            handle.flush()
+        assert db.records() == records[:2]      # torn tail not consumed
+        with open(path, "a") as handle:
+            handle.write(line[20:] + "\n")
+        assert db.records() == records[:3]      # completed line lands
+
+    def test_replaced_file_triggers_full_reparse(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        db = JsonlRunDatabase(path)
+        records = _make_records()
+        db.record_many(records)
+        assert len(db.records()) == 5
+        # Replace the log wholesale (rotation): shorter, new inode.
+        replacement = tmp_path / "new.jsonl"
+        JsonlRunDatabase(replacement).record_many(records[:1])
+        replacement.rename(path)
+        assert db.records() == records[:1]
+
+    def test_deleted_file_resets_the_cache(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        db = JsonlRunDatabase(path)
+        db.record_many(_make_records())
+        assert len(db.records()) == 5
+        path.unlink()
+        assert db.records() == []
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        db = JsonlRunDatabase(path)
+        records = _make_records()
+        db.record(records[0])
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('{"run_id": "orphan"}\n')   # missing fields
+        db.record(records[1])
+        assert db.records() == records[:2]
+
+    def test_two_handles_one_file(self, tmp_path):
+        # A CLI reader and a live scheduler writer share the file; the
+        # reader's cache must follow the writer's appends.
+        path = tmp_path / "runs.jsonl"
+        writer = JsonlRunDatabase(path)
+        reader = JsonlRunDatabase(path)
+        records = _make_records()
+        writer.record_many(records[:3])
+        assert reader.records() == records[:3]
+        writer.record_many(records[3:])
+        assert reader.records() == records
+
+
+class TestSqliteConcurrency:
+    def test_second_connection_sees_committed_writes(self, tmp_path):
+        path = tmp_path / "runs.db"
+        writer = SqliteRunDatabase(path)
+        writer.record_many(_make_records())
+        reader = SqliteRunDatabase(path)
+        assert reader.records() == _make_records()
+        writer.close()
+        reader.close()
+
+    def test_wal_mode_is_active(self, tmp_path):
+        db = SqliteRunDatabase(tmp_path / "runs.db")
+        (mode,) = db._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+        db.close()
+
+    def test_corrupt_sqlite_surfaces_loudly(self, tmp_path):
+        # Unlike the forgiving JSONL parser, SQLite corruption is an
+        # error, not silently empty results.
+        path = tmp_path / "runs.db"
+        path.write_bytes(b"SQLite format 3\x00" + b"\xff" * 64)
+        with pytest.raises(sqlite3.DatabaseError):
+            SqliteRunDatabase(path)

@@ -7,6 +7,8 @@ stays clean when pytest imports this module.
 """
 
 import os
+import signal
+import threading
 import time
 
 import pytest
@@ -15,6 +17,7 @@ from repro.service import (
     CANCELLED,
     FAILED,
     JobSpec,
+    PENDING,
     RUNNING,
     RunDatabase,
     Scheduler,
@@ -22,17 +25,20 @@ from repro.service import (
     SKIPPED,
     SUCCEEDED,
     TIMEOUT,
+    WorkerPool,
     register_job_type,
 )
 
 
-@register_job_type("t-echo", sample_params={"value": 1})
+@register_job_type("t-echo", sample_params={"value": 1},
+                   sample_result={"value": 1, "seed": 0})
 def _echo_job(params, ctx):
     """Test job: return its parameters and seed (pure, deterministic)."""
     return {"value": params["value"], "seed": ctx.seed}
 
 
-@register_job_type("t-crash-once", sample_params={"marker": "/tmp/x"})
+@register_job_type("t-crash-once", sample_params={"marker": "/tmp/x"},
+                   sample_result={"recovered": True})
 def _crash_once_job(params, ctx):
     """Test job: die without cleanup on the first attempt, then succeed.
 
@@ -47,7 +53,8 @@ def _crash_once_job(params, ctx):
     return {"recovered": True}
 
 
-@register_job_type("t-sleep", sample_params={"seconds": 0.01})
+@register_job_type("t-sleep", sample_params={"seconds": 0.01},
+                   sample_result={"slept": 0.01})
 def _sleep_job(params, ctx):
     """Test job: sleep, then return — the timeout-policy target."""
     del ctx
@@ -55,18 +62,63 @@ def _sleep_job(params, ctx):
     return {"slept": params["seconds"]}
 
 
-@register_job_type("t-fail", sample_params={"n": 1})
+@register_job_type("t-fail", sample_params={"n": 1},
+                   sample_result={"unreached": True})
 def _fail_job(params, ctx):
     """Test job: always raise (exercises retry exhaustion)."""
     del ctx
     raise RuntimeError(f"deliberate failure {params['n']}")
 
 
-@register_job_type("t-dep-sum", sample_params={"label": "sum"})
+@register_job_type("t-dep-sum", sample_params={"label": "sum"},
+                   sample_result={"total": 5})
 def _dep_sum_job(params, ctx):
     """Test job: sum the ``value`` field of all dependency results."""
     del params
     return {"total": sum(r["value"] for r in ctx.dep_results.values())}
+
+
+@register_job_type("t-pid-sleep", sample_params={"pidfile": "/tmp/p"},
+                   sample_result={"survived": True})
+def _pid_sleep_job(params, ctx):
+    """Test job: publish the worker pid, then sleep as a kill target.
+
+    The first attempt drops a ``.done`` marker, writes its pid so the
+    test can signal the worker from outside, and sleeps.  The retried
+    attempt — in a fresh worker — sees the marker and returns at once.
+    """
+    del ctx
+    marker = params["pidfile"] + ".done"
+    if os.path.exists(marker):
+        return {"survived": True}
+    with open(marker, "w") as handle:
+        handle.write("attempted")
+    with open(params["pidfile"], "w") as handle:
+        handle.write(str(os.getpid()))
+    time.sleep(30.0)
+    return {"survived": False}
+
+
+#: Per-process call counter: a persistent worker carries it across
+#: jobs, so its value observes worker reuse (and thus cache warmth).
+_WORKER_CALLS = {"n": 0}
+
+
+@register_job_type("t-warmth", sample_params={"tag": "a"},
+                   sample_result={"pid": 1, "calls": 1})
+def _warmth_job(params, ctx):
+    """Test job: report the worker pid and its per-process call count."""
+    del params, ctx
+    _WORKER_CALLS["n"] += 1
+    return {"pid": os.getpid(), "calls": _WORKER_CALLS["n"]}
+
+
+@register_job_type("t-bad-return", sample_params={"n": 1},
+                   sample_result={"never": True})
+def _bad_return_job(params, ctx):
+    """Test job: return a value that cannot cross the worker pipe."""
+    del ctx
+    return {"n": params["n"], "fn": lambda: None}
 
 
 class TestJobSpecParams:
@@ -276,3 +328,136 @@ class TestCancellation:
         counts = s.counts()
         assert counts[SUCCEEDED] == 1
         assert counts[FAILED] == 1
+
+
+def _kill_when_pid_appears(pidfile, sig) -> threading.Thread:
+    """Background thread: wait for the worker's pidfile, then signal it."""
+    def run():
+        deadline = time.time() + 15.0
+        while time.time() < deadline:
+            try:
+                text = pidfile.read_text().strip()
+                if text:
+                    os.kill(int(text), sig)
+                    return
+            except (FileNotFoundError, ValueError, ProcessLookupError):
+                pass
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread
+
+
+class TestPersistentPool:
+    def test_sigkill_respawns_retries_and_records_once(self, tmp_path):
+        # SIGKILL a warm worker mid-job: the pool must replace it, the
+        # job must retry and succeed, siblings must be untouched, and
+        # the run database must hold exactly one terminal record per
+        # job — a crash neither loses a record nor double-records.
+        db = RunDatabase(tmp_path / "runs.jsonl")
+        pidfile = tmp_path / "worker.pid"
+        with WorkerPool(2) as pool:
+            s = Scheduler(pool=pool, rundb=db)
+            victim = s.submit(JobSpec(
+                "t-pid-sleep", params={"pidfile": str(pidfile)},
+                retries=1, retry_backoff=0.01))
+            others = [s.submit(JobSpec("t-echo", params={"value": v}))
+                      for v in range(3)]
+            killer = _kill_when_pid_appears(pidfile, signal.SIGKILL)
+            jobs = s.run()
+            killer.join()
+            assert pool.respawns >= 1
+            assert len(pool.workers()) == 2     # still at size
+        assert jobs[victim].status == SUCCEEDED
+        assert jobs[victim].attempts == 2
+        assert jobs[victim].result == {"survived": True}
+        assert all(jobs[j].status == SUCCEEDED for j in others)
+        records = db.records()
+        assert sorted(r.job_id for r in records) == \
+            sorted([victim] + others)
+        assert all(r.status == SUCCEEDED for r in records)
+
+    def test_sigkill_without_retries_is_a_clean_failure(self, tmp_path):
+        db = RunDatabase(tmp_path / "runs.jsonl")
+        pidfile = tmp_path / "worker.pid"
+        with WorkerPool(1) as pool:
+            s = Scheduler(pool=pool, rundb=db)
+            jid = s.submit(JobSpec(
+                "t-pid-sleep", params={"pidfile": str(pidfile)},
+                retries=0))
+            killer = _kill_when_pid_appears(pidfile, signal.SIGKILL)
+            jobs = s.run()
+            killer.join()
+        assert jobs[jid].status == FAILED
+        assert "crashed" in jobs[jid].error
+        assert [r.status for r in db.records()] == [FAILED]
+
+    def test_sigstop_wedge_is_detected_and_replaced(self, tmp_path):
+        # A stopped process is alive but silent: only the heartbeat
+        # can tell.  The scheduler must declare it wedged, replace it,
+        # and retry the job on the fresh worker.
+        pidfile = tmp_path / "worker.pid"
+        errors = []
+
+        def on_event(job):
+            if job.status == PENDING and job.error:
+                errors.append(job.error)
+
+        with WorkerPool(1, heartbeat_interval=0.05,
+                        heartbeat_timeout=0.5) as pool:
+            s = Scheduler(pool=pool, on_event=on_event)
+            jid = s.submit(JobSpec(
+                "t-pid-sleep", params={"pidfile": str(pidfile)},
+                retries=1, retry_backoff=0.01))
+            stopper = _kill_when_pid_appears(pidfile, signal.SIGSTOP)
+            jobs = s.run()
+            stopper.join()
+            assert pool.respawns >= 1
+        assert jobs[jid].status == SUCCEEDED
+        assert jobs[jid].attempts == 2
+        assert any("wedged" in e for e in errors)
+
+    def test_shared_pool_keeps_workers_warm(self):
+        # Two schedulers over one pool reuse the same worker process —
+        # the property that keeps engine caches and solver registries
+        # warm across campaign resubmission.
+        with WorkerPool(1) as pool:
+            s1 = Scheduler(pool=pool)
+            a = s1.submit(JobSpec("t-warmth", params={"tag": "a"}))
+            r1 = s1.run()[a].result
+            s2 = Scheduler(pool=pool)
+            b = s2.submit(JobSpec("t-warmth", params={"tag": "b"}))
+            r2 = s2.run()[b].result
+        assert r1["pid"] == r2["pid"]
+        assert r2["calls"] == r1["calls"] + 1
+
+    def test_unpicklable_result_fails_without_killing_worker(self):
+        # A result that cannot pickle must surface as a job error, not
+        # poison the pipe or cost a worker respawn.
+        with WorkerPool(1) as pool:
+            s = Scheduler(pool=pool)
+            bad = s.submit(JobSpec("t-bad-return", params={"n": 1}))
+            good = s.submit(JobSpec("t-echo", params={"value": 4}))
+            jobs = s.run()
+            assert pool.respawns == 0
+        assert jobs[bad].status == FAILED
+        assert "picklable" in jobs[bad].error
+        assert jobs[good].status == SUCCEEDED
+
+    def test_execution_modes_agree_bit_for_bit(self):
+        # Inline, per-job-process, and persistent-pool execution must
+        # produce identical result payloads for the same DAG.
+        def build(**kwargs):
+            s = Scheduler(**kwargs)
+            ids = [s.submit(JobSpec("t-echo", params={"value": v},
+                                    seed=3))
+                   for v in range(4)]
+            total = s.submit(JobSpec("t-dep-sum"), deps=ids)
+            jobs = s.run()
+            return [jobs[j].result for j in ids + [total]]
+
+        inline = build(workers=0)
+        per_job = build(workers=2, persistent=False)
+        pooled = build(workers=2)
+        assert inline == per_job == pooled

@@ -1,7 +1,11 @@
 """Content-addressed artifact store and canonical netlist hashing."""
 
 import json
+import multiprocessing
+import os
+import tempfile
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -209,3 +213,273 @@ class TestArtifactStore:
             t.join()
         assert store.get(digest) == {"x": 1}
         assert len(store) == 1
+
+    def test_put_counters_distinguish_writes_from_skips(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ab" * 32
+        store.put(digest, {"x": 1})
+        store.put(digest, {"x": 1})     # idempotent fast path
+        store.put("cd" * 32, {"y": 2})
+        assert store.writes == 2
+        assert store.dedup_skips == 1
+
+    def test_corrupt_artifact_is_unlinked_and_repairable(self, tmp_path):
+        # With idempotent put, a corrupt file left in place would be
+        # dedup-skipped forever; get() must evict it so a recompute
+        # can repair the slot.
+        store = ArtifactStore(tmp_path)
+        digest = "ef" * 32
+        shard = tmp_path / digest[:2]
+        shard.mkdir()
+        (shard / f"{digest[2:]}.json").write_text('{"trunc')
+        assert store.get(digest) is None
+        store.put(digest, {"x": 1})
+        assert store.dedup_skips == 0
+        assert store.get(digest) == {"x": 1}
+
+
+def _expected_payload(digest):
+    return {"digest": digest, "blob": digest * 4}
+
+
+def _stress_writer(root, worker_id, shared, rounds):
+    """Child process: republish shared digests and publish own ones."""
+    store = ArtifactStore(root)
+    for rnd in range(rounds):
+        for digest in shared:
+            store.put(digest, _expected_payload(digest))
+        own = stable_hash({"writer": worker_id, "round": rnd})
+        store.put(own, _expected_payload(own))
+
+
+def _stress_reader(root, shared, deadline_s):
+    """Child process: hammer get(); exit non-zero on any torn read."""
+    store = ArtifactStore(root)
+    end = time.time() + deadline_s
+    seen = set()
+    while time.time() < end and len(seen) < len(shared):
+        for digest in shared:
+            payload = store.get(digest)
+            if payload is None:
+                continue        # not yet published: a miss, never torn
+            if payload != _expected_payload(digest):
+                os._exit(2)     # torn or wrong content
+            seen.add(digest)
+    os._exit(0 if len(seen) == len(shared) else 3)
+
+
+class TestMultiWriterStress:
+    def test_processes_racing_on_same_and_distinct_digests(self, tmp_path):
+        # Publication is lock-free by design: two writer processes
+        # race 50 rounds over the same 8 shared digests (pure dedup
+        # contention) while each also publishes 50 distinct ones, and
+        # a reader process concurrently asserts it never observes a
+        # torn artifact.
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        shared = [stable_hash({"shared": i}) for i in range(8)]
+        rounds = 50
+        writers = [
+            ctx.Process(target=_stress_writer,
+                        args=(str(tmp_path), w, shared, rounds))
+            for w in range(2)]
+        reader = ctx.Process(target=_stress_reader,
+                             args=(str(tmp_path), shared, 10.0))
+        for proc in writers + [reader]:
+            proc.start()
+        for proc in writers + [reader]:
+            proc.join(timeout=30.0)
+        assert all(p.exitcode == 0 for p in writers)
+        assert reader.exitcode == 0, \
+            f"reader exit {reader.exitcode} (2 = torn read)"
+        store = ArtifactStore(tmp_path)
+        assert len(store) == len(shared) + 2 * rounds
+        for digest in shared:
+            assert store.get(digest) == _expected_payload(digest)
+
+
+class TestPinning:
+    def test_pin_unpin_is_refcounted_across_refs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ab" * 32
+        store.put(digest, {"x": 1})
+        store.pin(digest, "run-1")
+        store.pin(digest, "run-2")
+        assert store.pins(digest) == ["run-1", "run-2"]
+        assert store.unpin(digest, "run-1") is True
+        assert store.is_pinned(digest)          # run-2 still holds it
+        assert store.unpin(digest, "run-2") is True
+        assert not store.is_pinned(digest)
+        assert store.unpin(digest, "run-2") is False   # already gone
+
+    def test_pin_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = "ab" * 32
+        store.pin(digest, "r")
+        store.pin(digest, "r")
+        assert store.pins(digest) == ["r"]
+
+    def test_traversal_refs_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("../evil", "a/b", "", "x" * 129):
+            with pytest.raises(ValueError):
+                store.pin("ab" * 32, bad)
+            with pytest.raises(ValueError):
+                store.unpin("ab" * 32, bad)
+
+    def test_pins_are_not_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("ab" * 32, {"x": 1})
+        store.pin("ab" * 32, "r")
+        assert len(store) == 1
+        assert store.pinned_digests() == {"ab" * 32}
+
+
+def _age(path, seconds=1000.0):
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+class TestGarbageCollection:
+    def test_sweep_removes_only_unreachable(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        child = stable_hash({"c": 1})
+        root_digest = stable_hash({"r": 1})
+        garbage = stable_hash({"g": 1})
+        store.put(child, {"v": 1})
+        store.put(root_digest, {"input": child})
+        store.put(garbage, {"v": 2})
+        store.pin(root_digest, "keep")
+        report = store.gc(grace_s=0.0)
+        assert report.removed == [garbage]
+        assert report.kept_pinned == 1
+        assert report.kept_referenced == 1
+        assert report.bytes_freed > 0
+        assert garbage not in store
+        assert child in store and root_digest in store
+
+    def test_references_are_followed_transitively(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        c = stable_hash({"n": "c"})
+        b = stable_hash({"n": "b"})
+        a = stable_hash({"n": "a"})
+        store.put(c, {"leaf": True})
+        store.put(b, {"next": c})
+        store.put(a, {"next": b})
+        store.pin(a, "root")
+        report = store.gc(grace_s=0.0)
+        assert report.removed == []
+        assert report.kept_referenced == 2
+
+    def test_grace_window_protects_in_flight_artifacts(self, tmp_path):
+        # A live campaign publishes before it pins: a just-written,
+        # unpinned artifact must survive a concurrent GC.
+        store = ArtifactStore(tmp_path)
+        digest = stable_hash({"fresh": 1})
+        store.put(digest, {"v": 1})
+        report = store.gc(grace_s=300.0)
+        assert report.removed == []
+        assert report.kept_recent == 1
+        assert digest in store
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = stable_hash({"doomed": 1})
+        store.put(digest, {"v": 1})
+        report = store.gc(dry_run=True, grace_s=0.0)
+        assert report.dry_run
+        assert report.removed == [digest]
+        assert digest in store                   # still there
+        assert store.gc(grace_s=0.0).removed == [digest]
+        assert digest not in store
+
+    def test_stale_tmp_and_empty_shards_swept(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = stable_hash({"doomed": 2})
+        path = store.put(digest, {"v": 1})
+        stale = path.parent / "leftover.tmp"
+        stale.write_text("half a write")
+        _age(stale)
+        store.gc(grace_s=0.0)
+        assert not stale.exists()
+        assert not path.parent.exists()          # shard emptied out
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_gc_removes_exactly_the_unreachable_set(self, data):
+        # Property: over random reference graphs and pin sets, GC
+        # never collects a pinned or transitively-referenced artifact,
+        # and with the grace window open it collects nothing at all
+        # (the in-flight guarantee).
+        n = data.draw(st.integers(2, 10), label="artifacts")
+        digests = [stable_hash({"a": i}) for i in range(n)]
+        edges = {
+            i: data.draw(st.sets(st.integers(0, n - 1), max_size=3),
+                         label=f"refs[{i}]")
+            for i in range(n)}
+        pinned = data.draw(
+            st.sets(st.integers(0, n - 1), max_size=n), label="pinned")
+        in_flight = data.draw(st.booleans(), label="in-flight")
+        with tempfile.TemporaryDirectory() as root:
+            store = ArtifactStore(root)
+            for i, digest in enumerate(digests):
+                store.put(digest, {
+                    "refs": [digests[j] for j in sorted(edges[i])]})
+            for i in pinned:
+                store.pin(digests[i], "prop")
+            reachable = set()
+            frontier = list(pinned)
+            while frontier:
+                i = frontier.pop()
+                if i in reachable:
+                    continue
+                reachable.add(i)
+                frontier.extend(edges[i])
+            report = store.gc(
+                grace_s=300.0 if in_flight else 0.0)
+            survivors = set(store.digests())
+            assert {digests[i] for i in reachable} <= survivors
+            if in_flight:
+                assert report.removed == []
+                assert survivors == set(digests)
+            else:
+                assert set(report.removed) == {
+                    digests[i] for i in range(n) if i not in reachable}
+
+
+class TestNetlistCacheIntegration:
+    def test_warm_load_serves_the_cached_instance(self, tmp_path):
+        from repro.netlist import reset_engine_cache
+
+        reset_engine_cache()
+        store = ArtifactStore(tmp_path)
+        digest = store.put_netlist(c17())
+        first = store.get_netlist(digest)
+        assert store.get_netlist(digest) is first
+        assert store.get_netlist(digest, cache=False) is not first
+
+    def test_mutated_instance_is_reparsed(self, tmp_path):
+        from repro.netlist import reset_engine_cache
+
+        reset_engine_cache()
+        store = ArtifactStore(tmp_path)
+        original_gates = list(c17().gates)
+        digest = store.put_netlist(c17())
+        first = store.get_netlist(digest)
+        first.add_gate("extra", GateType.NOT, [first.outputs[0]])
+        fresh = store.get_netlist(digest)
+        assert fresh is not first
+        assert list(fresh.gates) == original_gates
+
+    def test_collected_artifact_reads_absent_despite_warm_cache(
+            self, tmp_path):
+        from repro.netlist import reset_engine_cache
+
+        reset_engine_cache()
+        store = ArtifactStore(tmp_path)
+        digest = store.put_netlist(c17())
+        assert store.get_netlist(digest) is not None   # warm the cache
+        report = store.gc(grace_s=0.0)
+        assert digest in report.removed
+        assert store.get_netlist(digest) is None
