@@ -57,7 +57,7 @@ def test_maze_route_rca16(benchmark):
     design = ripple_carry_adder(16)
     placement = _placed(design)
     study = benchmark.pedantic(run_routing, args=(design, placement),
-                               rounds=1, iterations=1)
+                               rounds=3, iterations=1)
     print(f"\n=== maze routing: rca16 ===")
     print(f"{study['nets']} nets routed, {len(study['failed'])} failed, "
           f"WL {study['wirelength']}, {study['vias']} vias")
@@ -70,7 +70,7 @@ def test_maze_route_rca16(benchmark):
 def test_security_closure_present_sbox(benchmark):
     design = present_sbox_netlist()
     result = benchmark.pedantic(run_closure, args=(design,),
-                                rounds=1, iterations=1)
+                                rounds=5, iterations=1)
     print(f"\n=== security closure: present_sbox ===")
     print(f"converged in {result.iterations} iteration(s): "
           f"{result.initial_metrics.as_dict()} -> "

@@ -122,7 +122,7 @@ def whole_circuit_experiment():
 
 
 def test_fig2_whole_circuit(benchmark):
-    result = benchmark.pedantic(whole_circuit_experiment, rounds=2,
+    result = benchmark.pedantic(whole_circuit_experiment, rounds=3,
                                 iterations=1)
     print("\n=== Fig. 2 at circuit scale: auto-masked PRESENT S-box ===")
     print(f"masking synthesis: {result['cells']} cells, "
@@ -136,7 +136,7 @@ def test_fig2_whole_circuit(benchmark):
 
 
 def test_fig2(benchmark):
-    result = benchmark.pedantic(fig2_experiment, rounds=3, iterations=1)
+    result = benchmark.pedantic(fig2_experiment, rounds=5, iterations=1)
     print("\n=== Fig. 2: insecure nature of classical EDA tools ===")
     print(f"secure evaluation order:       TVLA max|t| = "
           f"{result['secure_t']:6.2f}  (PASS, < 4.5)")

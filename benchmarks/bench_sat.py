@@ -28,7 +28,7 @@ def run_atpg_aes_sbox():
 
 
 def test_sat_atpg_aes_sbox(benchmark):
-    result = benchmark.pedantic(run_atpg_aes_sbox, rounds=2, iterations=1)
+    result = benchmark.pedantic(run_atpg_aes_sbox, rounds=4, iterations=1)
     print("\n=== SAT ATPG on aes_sbox ===")
     print(f"vectors={len(result.vectors)} detected={len(result.detected)} "
           f"untestable={len(result.untestable)} "
@@ -45,7 +45,7 @@ def run_sat_attack_locked_rca():
 
 def test_sat_attack_locked_rca(benchmark):
     locked, attack = benchmark.pedantic(run_sat_attack_locked_rca,
-                                        rounds=2, iterations=1)
+                                        rounds=5, iterations=1)
     stats = attack.solver_stats
     print("\n=== SAT attack on EPIC-locked rca8 (16 key bits) ===")
     print(f"DIPs={attack.iterations} conflicts={stats['conflicts']} "

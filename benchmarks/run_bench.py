@@ -44,11 +44,12 @@ BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 #: plus the SAT-core microbenchmarks (ATPG / SAT attack kernels), the
 #: physical-design kernels (maze routing / security closure), the
 #: batched variant-sweep benchmarks (masking TVLA / locking keys),
-#: and the execution-service benchmarks (warm-pool resubmission /
-#: indexed run-DB queries).
+#: the execution-service benchmarks (warm-pool resubmission /
+#: indexed run-DB queries), and the HTTP gateway under concurrent
+#: client load (submission latency / cache-served throughput).
 CHECK_FILES = ("bench_fig1.py", "bench_fig2.py", "bench_aes_netlist.py",
                "bench_sat.py", "bench_closure.py", "bench_variants.py",
-               "bench_service.py")
+               "bench_service.py", "bench_gateway.py")
 #: ``--check`` baseline: the pre-pass-manager reference run (PR 1).
 BASELINE = REPO_ROOT / "BENCH_1.json"
 

@@ -18,10 +18,18 @@ into a job-serving layer:
 * :mod:`~repro.service.campaigns` — existing workloads (locking
   sweep, composition matrix, security closure) routed through the
   service with serial result parity;
-* ``python -m repro.service`` — submit, watch, and inspect runs.
+* :mod:`~repro.service.events` — the job event bus behind both CLI
+  ``--watch`` output and gateway SSE streams;
+* :mod:`~repro.service.tenants` — tenant identity, rate limits, and
+  namespaced run-database / pin views for the gateway;
+* :mod:`~repro.service.gateway` / :mod:`~repro.service.client` — the
+  multi-tenant HTTP evaluation gateway and its blocking client
+  (imported lazily; ``from repro.service.gateway import Gateway``);
+* ``python -m repro.service`` — submit, watch, inspect, and
+  ``serve``.
 """
 
-from .store import ArtifactStore, GcReport, result_key
+from .store import ArtifactStore, GcReport, result_key, validate_digest
 from .rundb import (
     JsonlRunDatabase,
     RunDatabase,
@@ -54,6 +62,7 @@ from .scheduler import (
     WorkerPool,
 )
 from .campaigns import (
+    BENCH_CIRCUITS,
     DEFAULT_STACKS,
     CampaignError,
     composition_matrix_campaign,
@@ -61,9 +70,19 @@ from .campaigns import (
     security_closure_campaign,
     variant_sweep_campaign,
 )
+from .events import EventBus, JobEvent, Subscription, format_event
+from .tenants import (
+    NamespacedRunDatabase,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    namespace_run_id,
+    split_run_id,
+    tenant_pin_ref,
+)
 
 __all__ = [
-    "ArtifactStore", "GcReport", "result_key",
+    "ArtifactStore", "GcReport", "result_key", "validate_digest",
     "RunDatabase", "JsonlRunDatabase", "SqliteRunDatabase",
     "RunRecord", "render_records", "migrate_jsonl",
     "JobContext", "JobSpec", "JobType", "evaluate_variants",
@@ -71,7 +90,11 @@ __all__ = [
     "Job", "Scheduler", "SchedulerError", "WorkerPool",
     "PENDING", "RUNNING", "SUCCEEDED", "FAILED", "TIMEOUT",
     "CANCELLED", "SKIPPED",
-    "DEFAULT_STACKS", "CampaignError",
+    "BENCH_CIRCUITS", "DEFAULT_STACKS", "CampaignError",
     "composition_matrix_campaign", "locking_sweep_campaign",
     "security_closure_campaign", "variant_sweep_campaign",
+    "EventBus", "JobEvent", "Subscription", "format_event",
+    "Tenant", "TenantRegistry", "TokenBucket",
+    "NamespacedRunDatabase", "namespace_run_id", "split_run_id",
+    "tenant_pin_ref",
 ]

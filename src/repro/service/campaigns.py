@@ -14,14 +14,32 @@ from __future__ import annotations
 
 import contextlib
 import tempfile
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..core.dse import LockingSweepPoint
-from ..netlist import Netlist
+from ..netlist import Netlist, c17, ripple_carry_adder
+from .events import EventBus
 from .jobs import JobSpec
 from .rundb import RunDatabase
 from .scheduler import SUCCEEDED, Scheduler, WorkerPool
 from .store import ArtifactStore
+
+
+def _present_sbox() -> Netlist:
+    from ..crypto import present_sbox_netlist
+
+    return present_sbox_netlist()
+
+
+#: Named benchmark circuits reachable from the CLI and the gateway.
+#: Shared so a gateway campaign and its CLI twin build byte-identical
+#: input netlists (and therefore identical spec hashes).
+BENCH_CIRCUITS: Dict[str, Callable[[], Netlist]] = {
+    "c17": c17,
+    "rca8": lambda: ripple_carry_adder(8),
+    "rca16": lambda: ripple_carry_adder(16),
+    "present-sbox": _present_sbox,
+}
 
 
 class CampaignError(Exception):
@@ -86,7 +104,8 @@ def locking_sweep_campaign(netlist: Netlist,
                            timeout: Optional[float] = None,
                            retries: int = 1,
                            pool: Optional[WorkerPool] = None,
-                           persistent: bool = True
+                           persistent: bool = True,
+                           bus: Optional[EventBus] = None
                            ) -> List[LockingSweepPoint]:
     """:func:`repro.core.dse.sweep_locking` as a service campaign.
 
@@ -101,7 +120,7 @@ def locking_sweep_campaign(netlist: Netlist,
     store = _campaign_store(store)
     input_hash = store.put_netlist(netlist)
     scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
-                          pool=pool, persistent=persistent)
+                          pool=pool, persistent=persistent, bus=bus)
     job_ids = []
     for bits in key_widths:
         spec = JobSpec(
@@ -137,7 +156,8 @@ def security_closure_campaign(netlists: Sequence[Netlist],
                               rundb: Optional[RunDatabase] = None,
                               timeout: Optional[float] = None,
                               retries: int = 1,
-                              pool: Optional[WorkerPool] = None
+                              pool: Optional[WorkerPool] = None,
+                              bus: Optional[EventBus] = None
                               ) -> Dict[str, Dict[str, object]]:
     """Security-close a batch of designs: one ``closure`` job each.
 
@@ -151,7 +171,7 @@ def security_closure_campaign(netlists: Sequence[Netlist],
                       or {"probing": 0.05, "fia": 0.30, "trojan": 0.05})
     store = _campaign_store(store)
     scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
-                          pool=pool)
+                          pool=pool, bus=bus)
     job_ids = {}
     input_hashes = []
     for netlist in netlists:
@@ -183,7 +203,8 @@ def variant_sweep_campaign(netlist: Netlist,
                            timeout: Optional[float] = None,
                            retries: int = 1,
                            batch: bool = True,
-                           pool: Optional[WorkerPool] = None
+                           pool: Optional[WorkerPool] = None,
+                           bus: Optional[EventBus] = None
                            ) -> List[Dict[str, object]]:
     """Score a family of design variants through the service.
 
@@ -227,7 +248,7 @@ def variant_sweep_campaign(netlist: Netlist,
             misses.append(i)
     if misses:
         scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
-                              pool=pool)
+                              pool=pool, bus=bus)
         if batch and len(misses) > 1:
             spec = JobSpec(
                 "variant-batch",
@@ -269,7 +290,8 @@ def composition_matrix_campaign(
         rundb: Optional[RunDatabase] = None,
         timeout: Optional[float] = None,
         retries: int = 1,
-        pool: Optional[WorkerPool] = None) -> Dict[str, Dict[str, object]]:
+        pool: Optional[WorkerPool] = None,
+        bus: Optional[EventBus] = None) -> Dict[str, Dict[str, object]]:
     """Cross-effect matrix: one ``composition-stack`` job per stack.
 
     The serial equivalent walks the stacks one at a time through
@@ -285,7 +307,7 @@ def composition_matrix_campaign(
                          {"n_traces": 4000, "noise_sigma": 0.25})
     store = _campaign_store(store)
     scheduler = Scheduler(workers=workers, store=store, rundb=rundb,
-                          pool=pool)
+                          pool=pool, bus=bus)
     job_ids = {}
     for label, stack in stacks.items():
         spec = JobSpec(

@@ -1,10 +1,11 @@
-"""``python -m repro.service`` — submit, watch, and inspect runs.
+"""``python -m repro.service`` — submit, watch, inspect, and serve.
 
 Subcommands::
 
     sweep    submit a locking-sweep campaign and print the points
     compose  submit a composition cross-effect campaign
     closure  security-close benchmark designs and print the metrics
+    serve    run the multi-tenant HTTP evaluation gateway
     jobs     query the run database (filter by run / type / status)
     runs     list run ids with per-run summaries
     summary  aggregate run-database statistics
@@ -18,54 +19,57 @@ Campaign commands accept ``--workers N`` (0 = in-process), a
 ``--store`` directory for the persistent artifact cache, and a
 ``--db`` path for the run database (``.jsonl`` keeps the legacy
 line-oriented log; anything else is SQLite); ``--watch`` streams job
-state transitions as the scheduler makes them.
+state transitions as the scheduler makes them — over the same
+:mod:`~repro.service.events` bus the gateway's SSE streams use.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import Callable, Dict, Optional
+import threading
+from typing import Iterator, Optional
 
-from ..netlist import Netlist, c17, ripple_carry_adder
 from .campaigns import (
+    BENCH_CIRCUITS,
     DEFAULT_STACKS,
     composition_matrix_campaign,
     locking_sweep_campaign,
     security_closure_campaign,
 )
+from .events import EventBus, format_event
 from .rundb import RunDatabase, migrate_jsonl, render_records
 from .store import ArtifactStore
 
-def _present_sbox() -> Netlist:
-    from ..crypto import present_sbox_netlist
 
-    return present_sbox_netlist()
+@contextlib.contextmanager
+def _watching(enabled: bool) -> Iterator[Optional[EventBus]]:
+    """An event bus printing watch lines, or None when not watching.
 
-
-#: Named benchmark circuits reachable from the command line.
-BENCH_CIRCUITS: Dict[str, Callable[[], Netlist]] = {
-    "c17": c17,
-    "rca8": lambda: ripple_carry_adder(8),
-    "rca16": lambda: ripple_carry_adder(16),
-    "present-sbox": _present_sbox,
-}
-
-
-def _watcher(enabled: bool):
+    One subscriber thread renders every published event with
+    :func:`~repro.service.events.format_event` — the same event
+    stream (and the same line format) a gateway SSE client sees.
+    """
     if not enabled:
-        return None
+        yield None
+        return
+    bus = EventBus()
+    sub = bus.subscribe()
 
-    def on_event(job) -> None:
-        cache = " (cache)" if job.cache_hit else ""
-        extra = (f" — {job.error.splitlines()[-1][:60]}"
-                 if job.error and job.status in
-                 ("failed", "timeout", "pending") else "")
-        print(f"[{job.status:>9}] {job.job_id} "
-              f"attempt={job.attempts}{cache}{extra}", flush=True)
+    def printer() -> None:
+        for event in sub:
+            print(format_event(event), flush=True)
 
-    return on_event
+    thread = threading.Thread(target=printer, name="cli-watch",
+                              daemon=True)
+    thread.start()
+    try:
+        yield bus
+    finally:
+        bus.close()
+        thread.join(timeout=5.0)
 
 
 def _open_db(args) -> Optional[RunDatabase]:
@@ -84,17 +88,12 @@ def cmd_sweep(args) -> int:
               f"{sorted(BENCH_CIRCUITS)}")
         return 2
     widths = [int(w) for w in args.widths.split(",") if w != ""]
-    store = _open_store(args)
-    rundb = _open_db(args)
-    netlist = make()
-    watcher = _watcher(args.watch)
-    from .scheduler import Scheduler  # noqa: F401 (documented path)
-    points = locking_sweep_campaign(
-        netlist, widths, seed=args.seed,
-        max_iterations=args.max_iterations, workers=args.workers,
-        store=store, rundb=rundb, timeout=args.timeout) \
-        if watcher is None else _sweep_watched(
-            netlist, widths, args, store, rundb, watcher)
+    with _watching(args.watch) as bus:
+        points = locking_sweep_campaign(
+            make(), widths, seed=args.seed,
+            max_iterations=args.max_iterations, workers=args.workers,
+            store=_open_store(args), rundb=_open_db(args),
+            timeout=args.timeout, bus=bus)
     print(f"\n=== locking sweep: {args.bench} "
           f"(seed {args.seed}, workers {args.workers}) ===")
     print(f"{'key bits':>8} {'area':>8} {'DIP iters':>10} "
@@ -104,37 +103,6 @@ def cmd_sweep(args) -> int:
               f"{p.sat_attack_iterations:>10} {p.attack_seconds:>11.3f} "
               f"{str(p.attack_gave_up):>8}")
     return 0
-
-
-def _sweep_watched(netlist, widths, args, store, rundb, watcher):
-    """Watched variant: build the scheduler here to attach the callback."""
-    from .campaigns import _campaign_store, _raise_on_failures
-    from .jobs import JobSpec
-    from .scheduler import Scheduler
-    from ..core.dse import LockingSweepPoint
-
-    store = _campaign_store(store)
-    input_hash = store.put_netlist(netlist)
-    scheduler = Scheduler(workers=args.workers, store=store,
-                          rundb=rundb, on_event=watcher)
-    job_ids = [
-        scheduler.submit(JobSpec(
-            "locking-point",
-            params={"netlist": input_hash, "key_bits": int(bits),
-                    "max_iterations": int(args.max_iterations)},
-            seed=args.seed, timeout=args.timeout, retries=1))
-        for bits in widths
-    ]
-    jobs = scheduler.run()
-    _raise_on_failures(jobs, "locking sweep")
-    return [LockingSweepPoint(
-        key_bits=int(jobs[j].result["key_bits"]),
-        area=float(jobs[j].result["area"]),
-        sat_attack_iterations=int(
-            jobs[j].result["sat_attack_iterations"]),
-        attack_seconds=float(jobs[j].result["attack_seconds"]),
-        attack_gave_up=bool(jobs[j].result["attack_gave_up"]))
-        for j in job_ids]
 
 
 def cmd_compose(args) -> int:
@@ -147,13 +115,14 @@ def cmd_compose(args) -> int:
                   f"{sorted(DEFAULT_STACKS)}")
             return 2
         stacks = {label: DEFAULT_STACKS[label] for label in labels}
-    matrix = composition_matrix_campaign(
-        design=args.design, stacks=stacks,
-        engine_params={"n_traces": args.traces,
-                       "noise_sigma": args.noise},
-        seed=args.seed, workers=args.workers,
-        store=_open_store(args), rundb=_open_db(args),
-        timeout=args.timeout)
+    with _watching(args.watch) as bus:
+        matrix = composition_matrix_campaign(
+            design=args.design, stacks=stacks,
+            engine_params={"n_traces": args.traces,
+                           "noise_sigma": args.noise},
+            seed=args.seed, workers=args.workers,
+            store=_open_store(args), rundb=_open_db(args),
+            timeout=args.timeout, bus=bus)
     print(f"\n=== composition matrix: {args.design} "
           f"(workers {args.workers}) ===")
     print(f"{'stack':<16} {'TVLA |t| in':>12} {'out':>8} "
@@ -177,14 +146,15 @@ def cmd_closure(args) -> int:
         print(f"unknown bench(es) {unknown}; choose from "
               f"{sorted(BENCH_CIRCUITS)}")
         return 2
-    results = security_closure_campaign(
-        [BENCH_CIRCUITS[label]() for label in labels],
-        thresholds={"probing": args.probing, "fia": args.fia,
-                    "trojan": args.trojan},
-        num_layers=args.layers, max_iterations=args.max_iterations,
-        seed=args.seed, workers=args.workers,
-        store=_open_store(args), rundb=_open_db(args),
-        timeout=args.timeout)
+    with _watching(args.watch) as bus:
+        results = security_closure_campaign(
+            [BENCH_CIRCUITS[label]() for label in labels],
+            thresholds={"probing": args.probing, "fia": args.fia,
+                        "trojan": args.trojan},
+            num_layers=args.layers, max_iterations=args.max_iterations,
+            seed=args.seed, workers=args.workers,
+            store=_open_store(args), rundb=_open_db(args),
+            timeout=args.timeout, bus=bus)
     print(f"\n=== security closure (seed {args.seed}, "
           f"workers {args.workers}) ===")
     print(f"{'design':<16} {'closed':>6} {'iters':>5} "
@@ -292,10 +262,14 @@ def cmd_pin(args) -> int:
         print("pin requires --store")
         return 2
     store = ArtifactStore(args.store)
-    if args.digest not in store:
-        print(f"warning: {args.digest} not (yet) in store; "
-              "pin recorded anyway")
-    store.pin(args.digest, ref=args.ref)
+    try:
+        if args.digest not in store:
+            print(f"warning: {args.digest} not (yet) in store; "
+                  "pin recorded anyway")
+        store.pin(args.digest, ref=args.ref)
+    except ValueError as exc:
+        print(f"pin refused: {exc}")
+        return 2
     print(f"pinned {args.digest} [{args.ref}] "
           f"(refs: {', '.join(store.pins(args.digest))})")
     return 0
@@ -306,12 +280,63 @@ def cmd_unpin(args) -> int:
         print("unpin requires --store")
         return 2
     store = ArtifactStore(args.store)
-    existed = store.unpin(args.digest, ref=args.ref)
+    try:
+        existed = store.unpin(args.digest, ref=args.ref)
+    except ValueError as exc:
+        print(f"unpin refused: {exc}")
+        return 2
     refs = store.pins(args.digest)
     state = "unpinned" if existed else "no such ref on"
     print(f"{state} {args.digest} [{args.ref}]"
           + (f" (remaining refs: {', '.join(refs)})" if refs else ""))
     return 0 if existed else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the multi-tenant HTTP gateway until interrupted."""
+    from .gateway import Gateway     # lazy: asyncio only when serving
+    from .tenants import Tenant, TenantRegistry
+
+    if not args.store:
+        print("serve requires --store (the shared artifact cache)")
+        return 2
+    tenants = []
+    for entry in args.tenant or []:
+        name, sep, token = entry.partition("=")
+        if not sep or not name or not token:
+            print(f"invalid --tenant {entry!r}: expected NAME=TOKEN")
+            return 2
+        try:
+            tenants.append(Tenant(
+                name, token, rate=args.rate, burst=args.burst,
+                max_in_flight=args.max_in_flight))
+        except ValueError as exc:
+            print(f"invalid tenant: {exc}")
+            return 2
+    if not tenants:
+        print("warning: no --tenant given; serving a single "
+              "'default' tenant with token 'dev-token' "
+              "(development only)")
+        tenants = [Tenant("default", "dev-token", rate=args.rate,
+                          burst=args.burst,
+                          max_in_flight=args.max_in_flight)]
+    store = ArtifactStore(args.store)
+    rundb = RunDatabase(args.db) if args.db else None
+    gateway = Gateway(store, TenantRegistry(tenants), rundb=rundb,
+                      workers=args.workers, host=args.host,
+                      port=args.port)
+    host, port = gateway.start()
+    print(f"gateway listening on http://{host}:{port} "
+          f"({len(tenants)} tenant(s), {gateway.workers} workers)",
+          flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\ndraining...", flush=True)
+    finally:
+        gateway.shutdown()
+    print("gateway stopped")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -367,6 +392,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-iterations", type=int, default=4)
     common(p, campaign=True)
     p.set_defaults(fn=cmd_closure)
+
+    p = sub.add_parser("serve", help="run the HTTP evaluation gateway")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8710,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="warm worker processes")
+    p.add_argument("--tenant", action="append", default=None,
+                   metavar="NAME=TOKEN",
+                   help="register a tenant (repeatable)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-tenant request rate (req/s)")
+    p.add_argument("--burst", type=int, default=100,
+                   help="per-tenant rate-limit burst size")
+    p.add_argument("--max-in-flight", type=int, default=64,
+                   help="per-tenant live-job quota")
+    common(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("jobs", help="query job records")
     p.add_argument("--run", default=None)

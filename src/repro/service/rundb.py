@@ -31,7 +31,9 @@ SQLite database losslessly, preserving append order and timestamps.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -242,20 +244,53 @@ CREATE INDEX IF NOT EXISTS idx_records_job_type ON records(job_type);
 
 
 class SqliteRunDatabase(RunDatabase):
-    """SQLite backend: indexed queries, WAL for concurrent readers."""
+    """SQLite backend: indexed queries, WAL for concurrent readers.
+
+    Safe to share one instance across threads and forks: a single
+    re-entrant lock serializes every statement (SQLite connections are
+    not concurrency-safe objects even with ``check_same_thread``
+    off), and each call pid-checks the connection — a forked child
+    that inherited this object gets a *fresh* connection instead of
+    reusing the parent's handle (whose file locks and WAL state belong
+    to the parent process).  The inherited handle is deliberately
+    never closed in the child: closing would run rollback against the
+    parent's locks.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA busy_timeout=5000")
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        self._lock = threading.RLock()
+        self._pid = os.getpid()
+        self._conn = self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path),
+                               check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=5000")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        return conn
+
+    def _guard(self) -> "threading.RLock":
+        """Lock to hold around connection use, after a pid check.
+
+        In a forked child both the connection and the lock were
+        inherited from the parent (the lock possibly mid-acquisition
+        by a parent thread that does not exist here); replace both.
+        Post-fork there is exactly one thread, so the swap is safe.
+        """
+        if os.getpid() != self._pid:
+            self._lock = threading.RLock()
+            self._conn = self._connect()
+            self._pid = os.getpid()
+        return self._lock
 
     def close(self) -> None:
-        self._conn.close()
+        with self._guard():
+            self._conn.close()
 
     # -- writing -------------------------------------------------------
 
@@ -266,7 +301,7 @@ class SqliteRunDatabase(RunDatabase):
         rows = [tuple(
             int(getattr(r, f)) if f == "cache_hit" else getattr(r, f)
             for f in _FIELDS) for r in recs]
-        with self._conn:
+        with self._guard(), self._conn:
             self._conn.executemany(
                 f"INSERT INTO records ({','.join(_FIELDS)}) "
                 f"VALUES ({','.join('?' * len(_FIELDS))})", rows)
@@ -285,8 +320,9 @@ class SqliteRunDatabase(RunDatabase):
         if where:
             sql += " WHERE " + where
         sql += " ORDER BY id"
-        return [self._from_row(row)
-                for row in self._conn.execute(sql, params)]
+        with self._guard():
+            return [self._from_row(row)
+                    for row in self._conn.execute(sql, params)]
 
     def records(self) -> List[RunRecord]:
         return self._select()
@@ -314,27 +350,30 @@ class SqliteRunDatabase(RunDatabase):
         return self._select(" AND ".join(clauses), params)
 
     def run_ids(self) -> List[str]:
-        return [row[0] for row in self._conn.execute(
-            "SELECT run_id FROM records GROUP BY run_id "
-            "ORDER BY MIN(id)")]
+        with self._guard():
+            return [row[0] for row in self._conn.execute(
+                "SELECT run_id FROM records GROUP BY run_id "
+                "ORDER BY MIN(id)")]
 
     def summary(self, run_id: Optional[str] = None) -> Dict[str, object]:
         where, params = ("WHERE run_id = ?", (run_id,)) \
             if run_id is not None else ("", ())
-        by_status = {
-            status: count for status, count in self._conn.execute(
-                "SELECT status, COUNT(*) FROM records "
-                f"{where} GROUP BY status ORDER BY MIN(id)", params)}
-        total, hits, attempts, runs = self._conn.execute(
-            "SELECT COUNT(*), COALESCE(SUM(cache_hit), 0), "
-            "COALESCE(SUM(attempts), 0), COUNT(DISTINCT run_id) "
-            f"FROM records {where}", params).fetchone()
-        placeholders = ",".join("?" * len(_FINISHED))
-        (wall,) = self._conn.execute(
-            "SELECT COALESCE(SUM(wall_s), 0.0) FROM records "
-            + (where + " AND " if where else "WHERE ")
-            + f"status IN ({placeholders})",
-            tuple(params) + _FINISHED).fetchone()
+        with self._guard():
+            by_status = {
+                status: count for status, count in self._conn.execute(
+                    "SELECT status, COUNT(*) FROM records "
+                    f"{where} GROUP BY status ORDER BY MIN(id)",
+                    params)}
+            total, hits, attempts, runs = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(cache_hit), 0), "
+                "COALESCE(SUM(attempts), 0), COUNT(DISTINCT run_id) "
+                f"FROM records {where}", params).fetchone()
+            placeholders = ",".join("?" * len(_FINISHED))
+            (wall,) = self._conn.execute(
+                "SELECT COALESCE(SUM(wall_s), 0.0) FROM records "
+                + (where + " AND " if where else "WHERE ")
+                + f"status IN ({placeholders})",
+                tuple(params) + _FINISHED).fetchone()
         return {
             "records": total,
             "by_status": by_status,

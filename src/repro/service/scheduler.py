@@ -54,6 +54,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .events import EventBus, JobEvent
 from .jobs import JobContext, JobSpec, run_job
 from .rundb import RunDatabase, RunRecord
 from .store import ArtifactStore
@@ -86,6 +87,7 @@ class Job:
     wall_s: float = 0.0
     worker: str = ""
     not_before: float = 0.0     # backoff gate for the next attempt
+    run_id: str = ""            # per-job override of the scheduler's
 
     @property
     def done(self) -> bool:
@@ -151,7 +153,14 @@ def _pool_worker_main(conn, heartbeat_interval: float) -> None:
     in practice kills replace the whole process and pipe.
     """
     import pickle
+    import signal
     import threading
+
+    # Terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group, workers included; the parent owns worker shutdown (pipe
+    # close / terminate), so let it drain instead of dying mid-recv
+    # with a KeyboardInterrupt traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
     send_lock = threading.Lock()
     stop = threading.Event()
@@ -377,7 +386,8 @@ class Scheduler:
                  poll_interval: float = 0.005,
                  on_event: Optional[Callable[[Job], None]] = None,
                  persistent: bool = True,
-                 pool: Optional[WorkerPool] = None) -> None:
+                 pool: Optional[WorkerPool] = None,
+                 bus: Optional[EventBus] = None) -> None:
         if workers < 0:
             raise SchedulerError(f"workers must be >= 0, got {workers}")
         self.workers = pool.size if pool is not None else workers
@@ -387,6 +397,7 @@ class Scheduler:
             f"run-{os.getpid()}-{uuid.uuid4().hex[:8]}")
         self.poll_interval = poll_interval
         self.on_event = on_event
+        self.bus = bus
         self.persistent = persistent or pool is not None
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []     # submission order
@@ -402,8 +413,15 @@ class Scheduler:
     # -- submission ----------------------------------------------------
 
     def submit(self, spec: JobSpec, deps: Sequence[str] = (),
-               job_id: Optional[str] = None) -> str:
-        """Register a job; returns its id.  ``deps`` are prior job ids."""
+               job_id: Optional[str] = None,
+               run_id: Optional[str] = None) -> str:
+        """Register a job; returns its id.  ``deps`` are prior job ids.
+
+        ``run_id`` overrides the scheduler-wide run id for this job's
+        run-database record and event stream — the gateway uses it to
+        namespace each tenant submission inside one long-lived
+        scheduler.
+        """
         job_id = job_id or f"j{next(self._ids):04d}-{spec.job_type}"
         if job_id in self.jobs:
             raise SchedulerError(f"duplicate job id {job_id!r}")
@@ -412,10 +430,33 @@ class Scheduler:
                 raise SchedulerError(
                     f"job {job_id!r} depends on unknown job {dep!r} "
                     "(submit dependencies first)")
-        job = Job(job_id, spec, tuple(deps))
+        job = Job(job_id, spec, tuple(deps), run_id=run_id or "")
         self.jobs[job_id] = job
         self._order.append(job_id)
         return job_id
+
+    def forget(self, job_id: str) -> None:
+        """Drop a *terminal* job from the table.
+
+        Long-lived schedulers (the gateway's) would otherwise grow
+        their job table without bound.  Refuses to drop a live job or
+        one a non-terminal job still depends on — dependency state is
+        resolved through the table.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return
+        if not job.done:
+            raise SchedulerError(
+                f"cannot forget live job {job_id!r} "
+                f"(status {job.status})")
+        for other in self.jobs.values():
+            if not other.done and job_id in other.deps:
+                raise SchedulerError(
+                    f"cannot forget {job_id!r}: live job "
+                    f"{other.job_id!r} depends on it")
+        del self.jobs[job_id]
+        self._order.remove(job_id)
 
     def cancel(self, job_id: str) -> None:
         """Withdraw a job; its dependents will be skipped.
@@ -451,6 +492,10 @@ class Scheduler:
     def _emit(self, job: Job) -> None:
         if self.on_event is not None:
             self.on_event(job)
+        if self.bus is not None:
+            self.bus.publish(JobEvent.from_job(
+                job, run_id=job.run_id or self.run_id,
+                with_result=(job.status == SUCCEEDED)))
 
     def _finish(self, job: Job, status: str, result=None,
                 error: str = "", wall_s: float = 0.0,
@@ -475,7 +520,7 @@ class Scheduler:
                             "seed": job.spec.seed})
         if self.rundb is not None:
             self.rundb.record(RunRecord(
-                run_id=self.run_id, job_id=job.job_id,
+                run_id=job.run_id or self.run_id, job_id=job.job_id,
                 job_type=job.spec.job_type,
                 spec_hash=job.spec.spec_hash, status=status,
                 attempts=job.attempts, wall_s=wall_s,
@@ -815,74 +860,114 @@ class Scheduler:
                 next_deadline = hb_deadline
         return next_deadline
 
-    def _run_pooled(self) -> None:
+    def service_open(self) -> None:
+        """Prepare for stepped pool execution (gateway mode).
+
+        Starts the pool (creating an owned one if none was shared) and
+        resets in-flight bookkeeping.  Pair with :meth:`service_close`.
+        """
+        self._check_acyclic()
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers, mp_context=self._mp)
+        self._pool.start()
+        self._busy = {}
+
+    def service_step(self, max_wait: float = 0.5,
+                     extra: Sequence = ()) -> bool:
+        """One scheduling quantum; returns True when no job is live.
+
+        Dispatches ready jobs onto idle workers, then sleeps (at most
+        ``max_wait`` seconds) until a worker message, a worker death, a
+        deadline, a backoff gate — or readiness of any of the caller's
+        ``extra`` wait handles (e.g. the gateway's wake pipe, so a new
+        submission interrupts the wait instead of riding it out).
+        Extra handles are never read here; the caller drains them.
+
+        This is the body of the classic :meth:`run` pool loop, exposed
+        so a long-running server can interleave scheduling with its
+        own command processing on a single thread.
+        """
         from multiprocessing.connection import wait as _conn_wait
 
         pool = self._pool
-        pool.start()
-        self._busy = {}
-        while True:
-            self._skip_blocked()
-            # Launch ready jobs onto idle workers (submission order; a
-            # job in backoff yields its slot to later ready jobs).
-            now = time.perf_counter()
-            idle = [w for w in pool.workers() if w not in self._busy]
-            for job_id in self._order:
-                if not idle:
-                    break
-                job = self.jobs[job_id]
-                if (job.done or job.status == RUNNING
-                        or self._dep_state(job) != "ready"
-                        or job.not_before > now):
-                    continue
-                if self._serve_from_cache(job):
-                    continue
-                self._dispatch(job, idle.pop(0))
-            self._skip_blocked()
-            if all(job.done for job in self.jobs.values()):
+        self._skip_blocked()
+        # Launch ready jobs onto idle workers (submission order; a
+        # job in backoff yields its slot to later ready jobs).
+        now = time.perf_counter()
+        idle = [w for w in pool.workers() if w not in self._busy]
+        for job_id in self._order:
+            if not idle:
                 break
-            # Sleep until something can happen: a worker message, a
-            # worker death (sentinel), a job/heartbeat deadline, or a
-            # backoff gate opening.  Event-driven — no fixed-rate
-            # polling while jobs run.
-            deadline = self._pool_deadlines()
-            now = time.perf_counter()
-            gates = [job.not_before for job in self.jobs.values()
-                     if not job.done and job.status != RUNNING
-                     and job.not_before > now]
-            if gates:
-                gate = min(gates)
-                if deadline is None or gate < deadline:
-                    deadline = gate
-            wait_s = 0.5 if deadline is None \
-                else max(0.0, min(deadline - now, 0.5))
-            handles = {}
-            for worker in pool.workers():
-                handles[worker.conn] = worker
-                handles[worker.process.sentinel] = worker
-            ready = _conn_wait(list(handles), timeout=wait_s)
-            dead = []
-            for handle in ready:
-                worker = handles[handle]
-                if handle is worker.conn:
-                    try:
-                        while worker.conn.poll():
-                            self._pool_message(worker,
-                                               worker.conn.recv())
-                    except (EOFError, OSError):
-                        dead.append(worker)
-                elif not worker.process.is_alive():
-                    dead.append(worker)
-            for worker in dict.fromkeys(dead):
-                # Drain any result sent before death, then handle it.
+            job = self.jobs[job_id]
+            if (job.done or job.status == RUNNING
+                    or self._dep_state(job) != "ready"
+                    or job.not_before > now):
+                continue
+            if self._serve_from_cache(job):
+                continue
+            self._dispatch(job, idle.pop(0))
+        self._skip_blocked()
+        if all(job.done for job in self.jobs.values()):
+            return True
+        # Sleep until something can happen: a worker message, a
+        # worker death (sentinel), a job/heartbeat deadline, or a
+        # backoff gate opening.  Event-driven — no fixed-rate
+        # polling while jobs run.
+        deadline = self._pool_deadlines()
+        now = time.perf_counter()
+        gates = [job.not_before for job in self.jobs.values()
+                 if not job.done and job.status != RUNNING
+                 and job.not_before > now]
+        if gates:
+            gate = min(gates)
+            if deadline is None or gate < deadline:
+                deadline = gate
+        wait_s = max_wait if deadline is None \
+            else max(0.0, min(deadline - now, max_wait))
+        handles = {}
+        for worker in pool.workers():
+            handles[worker.conn] = worker
+            handles[worker.process.sentinel] = worker
+        ready = _conn_wait(list(handles) + list(extra),
+                           timeout=wait_s)
+        dead = []
+        for handle in ready:
+            worker = handles.get(handle)
+            if worker is None:
+                continue    # caller's extra handle; not ours to read
+            if handle is worker.conn:
                 try:
                     while worker.conn.poll():
-                        self._pool_message(worker, worker.conn.recv())
+                        self._pool_message(worker,
+                                           worker.conn.recv())
                 except (EOFError, OSError):
-                    pass
-                if worker in pool.workers():
-                    self._pool_worker_died(worker)
-            self._pool_deadlines()
+                    dead.append(worker)
+            elif not worker.process.is_alive():
+                dead.append(worker)
+        for worker in dict.fromkeys(dead):
+            # Drain any result sent before death, then handle it.
+            try:
+                while worker.conn.poll():
+                    self._pool_message(worker, worker.conn.recv())
+            except (EOFError, OSError):
+                pass
+            if worker in pool.workers():
+                self._pool_worker_died(worker)
+        self._pool_deadlines()
+        return all(job.done for job in self.jobs.values())
+
+    def service_close(self) -> None:
+        """Tear down stepped execution (shuts down an owned pool)."""
+        if self._shared_pool is None and self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._busy = {}
+
+    def _run_pooled(self) -> None:
+        self._pool.start()
+        self._busy = {}
+        while not self.service_step():
+            pass
 
     # -- entry point ---------------------------------------------------
 

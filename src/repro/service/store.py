@@ -63,6 +63,23 @@ def result_key(input_hash: str, pipeline_hash: str, seed: int) -> str:
 _DIGEST_RE = re.compile(r"\A[0-9a-f]{64}\Z")
 
 
+def validate_digest(digest: str) -> str:
+    """Return ``digest`` if it is a well-formed store address.
+
+    Digests arrive from untrusted places — CLI arguments, gateway URL
+    paths — and are spliced into filesystem paths, so syntax is
+    enforced *before* any path construction: exactly 64 lowercase hex
+    characters (SHA-256), nothing traversal-shaped can pass.  Raises
+    :class:`ValueError` otherwise.
+    """
+    if not isinstance(digest, str) or not _DIGEST_RE.match(digest):
+        shown = digest if isinstance(digest, str) else type(digest)
+        raise ValueError(
+            f"invalid artifact digest {shown!r}: expected 64 lowercase "
+            "hex characters (SHA-256)")
+    return digest
+
+
 @dataclass
 class GcReport:
     """Outcome of one :meth:`ArtifactStore.gc` pass."""
@@ -95,8 +112,7 @@ class ArtifactStore:
     # -- addressing ----------------------------------------------------
 
     def _path(self, digest: str) -> Path:
-        if len(digest) < 3:
-            raise ValueError(f"digest too short: {digest!r}")
+        validate_digest(digest)
         return self.root / digest[:2] / f"{digest[2:]}.json"
 
     def __contains__(self, digest: str) -> bool:
@@ -207,8 +223,7 @@ class ArtifactStore:
     _REF_OK = re.compile(r"\A[A-Za-z0-9._:@-]{1,128}\Z")
 
     def _pin_dir(self, digest: str) -> Path:
-        if len(digest) < 3:
-            raise ValueError(f"digest too short: {digest!r}")
+        validate_digest(digest)
         return self.root / ".pins" / digest
 
     def pin(self, digest: str, ref: str = "default") -> None:

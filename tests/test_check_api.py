@@ -1,0 +1,96 @@
+"""CI gate: the gateway API static audit, run as a tier-1 test.
+
+Mirrors ``tests/test_check_jobs.py`` — the audit is importable for
+in-process checks and runnable as a script with exit-code semantics.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_check_api():
+    spec = importlib.util.spec_from_file_location(
+        "check_api", REPO_ROOT / "scripts" / "check_api.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestApiAudit:
+    def test_api_surface_is_clean(self):
+        assert load_check_api().audit() == []
+
+    def test_script_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_api.py")],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"})
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_audit_catches_unscoped_and_undocumented_handler(self):
+        # A route whose handler ignores tenancy or ships no error
+        # table must fail the audit — that is the whole point of
+        # auditing the table statically.
+        from repro.service import gateway
+
+        check_api = load_check_api()
+
+        async def rogue(gw, params, body, query):
+            """A handler with no tenant parameter and no error table."""
+            return 200, {}
+
+        gateway.ROUTES.append(gateway.Route("GET", "/v1/rogue", rogue))
+        try:
+            problems = "\n".join(check_api.audit())
+        finally:
+            gateway.ROUTES.pop()
+        assert "rogue" in problems
+        assert "tenant" in problems
+        assert "Errors:" in problems
+
+    def test_audit_catches_sync_handler_and_bad_method(self):
+        from repro.service import gateway
+
+        check_api = load_check_api()
+
+        def sync_handler(gw, tenant, params, body, query):
+            """Not a coroutine.
+
+            Errors:
+                400 bad_request  never
+            """
+            return 200, {}
+
+        gateway.ROUTES.append(gateway.Route(
+            "DELETE", "/v1/sync", sync_handler))
+        try:
+            problems = "\n".join(check_api.audit())
+        finally:
+            gateway.ROUTES.pop()
+        assert "not async" in problems
+        assert "GET or POST" in problems
+
+    def test_audit_catches_unknown_error_vocabulary(self):
+        from repro.service import gateway
+
+        check_api = load_check_api()
+
+        async def teapot(gw, tenant, params, body, query):
+            """Documents an error outside the vocabulary.
+
+            Errors:
+                418 im_a_teapot  always
+            """
+            return 200, {}
+
+        gateway.ROUTES.append(gateway.Route("GET", "/v1/teapot", teapot))
+        try:
+            problems = "\n".join(check_api.audit())
+        finally:
+            gateway.ROUTES.pop()
+        assert "418 im_a_teapot" in problems

@@ -1,0 +1,151 @@
+"""Event bus: publish/subscribe semantics and watch-output parity.
+
+The bus replaced the CLI's private ``on_event`` watch closure; the
+regression contract is that ``--watch`` output is *byte for byte*
+what the legacy closure printed, while the same event stream now
+also feeds gateway SSE.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.service import Scheduler
+from repro.service.events import EventBus, JobEvent, format_event
+from repro.service.jobs import JobSpec
+
+import test_service_scheduler  # noqa: F401  registers the t-* job types
+
+
+def _legacy_watch_line(job) -> str:
+    """The pre-bus CLI watcher, verbatim (the regression reference)."""
+    cache = " (cache)" if job.cache_hit else ""
+    extra = (f" — {job.error.splitlines()[-1][:60]}"
+             if job.error and job.status in
+             ("failed", "timeout", "pending") else "")
+    return (f"[{job.status:>9}] {job.job_id} "
+            f"attempt={job.attempts}{cache}{extra}")
+
+
+class _FakeJob:
+    def __init__(self, **kw):
+        self.job_id = kw.get("job_id", "j1")
+        self.status = kw.get("status", "succeeded")
+        self.attempts = kw.get("attempts", 1)
+        self.cache_hit = kw.get("cache_hit", False)
+        self.error = kw.get("error", "")
+        self.wall_s = 0.0
+        self.worker = ""
+        self.result = None
+
+        class _Spec:
+            job_type = "t-echo"
+            spec_hash = "ab" * 32
+        self.spec = _Spec()
+
+
+class TestWatchFormatRegression:
+    @pytest.mark.parametrize("fields", [
+        {"status": "succeeded", "attempts": 1},
+        {"status": "succeeded", "attempts": 2, "cache_hit": True},
+        {"status": "failed", "attempts": 3,
+         "error": "Traceback...\nValueError: boom"},
+        {"status": "timeout", "attempts": 1,
+         "error": "x" * 200},                   # truncation at 60
+        {"status": "pending", "attempts": 1,
+         "error": "worker crashed (signal 9)"},  # retry line
+        {"status": "running", "attempts": 1,
+         "error": "stale error not shown for running"},
+        {"status": "cancelled", "attempts": 0},
+    ])
+    def test_format_event_matches_legacy_watcher(self, fields):
+        job = _FakeJob(**fields)
+        event = JobEvent.from_job(job)
+        assert format_event(event) == _legacy_watch_line(job)
+
+    def test_cli_watch_prints_bus_events(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["sweep", "--widths", "0", "--watch",
+                     "--max-iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("[")]
+        assert lines, out
+        # Every watch line is the legacy format, ending succeeded.
+        pattern = re.compile(r"^\[ *\w+\] \S+ attempt=\d+")
+        assert all(pattern.match(l) for l in lines)
+        assert any("succeeded" in l for l in lines)
+
+
+class TestBusSemantics:
+    def test_scheduler_publishes_lifecycle_to_bus(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        s = Scheduler(workers=0, bus=bus)
+        jid = s.submit(JobSpec("t-echo", params={"value": 5}))
+        s.run()
+        bus.close()
+        events = list(sub)
+        assert [e.job_id for e in events] == [jid] * len(events)
+        statuses = [e.status for e in events]
+        assert statuses[0] in ("pending", "running")
+        assert statuses[-1] == "succeeded"
+        # seq strictly increasing; terminal event carries the result.
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert events[-1].result["value"] == 5
+        assert events[-1].terminal
+
+    def test_job_id_filter_and_replay_after_seq(self):
+        bus = EventBus()
+        s = Scheduler(workers=0, bus=bus)
+        a = s.submit(JobSpec("t-echo", params={"value": 1}))
+        b = s.submit(JobSpec("t-echo", params={"value": 2}))
+        s.run()
+        # Late subscriber with replay sees only job b's history.
+        history = bus.history(b)
+        assert history
+        sub = bus.subscribe(job_ids=[b], replay=True)
+        bus.close()
+        events = list(sub)
+        assert events and all(e.job_id == b for e in events)
+        assert [e.seq for e in events] == [e.seq for e in history]
+        # after_seq resumes mid-stream: exactly-once delivery.
+        sub2 = bus.subscribe(job_ids=[b], replay=True,
+                             after_seq=history[0].seq)
+        events2 = [e for e in iter(lambda: sub2.get(0.1), None)]
+        assert [e.seq for e in events2] == \
+            [e.seq for e in history[1:]]
+        assert a != b
+
+    def test_close_unblocks_waiting_reader(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        got = []
+
+        def reader():
+            got.append(sub.get(timeout=10.0))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        bus.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+        assert sub.closed
+        # Publishing after close is a silent no-op.
+        bus.publish(JobEvent(job_id="x", status="pending"))
+        assert bus.history() == []
+
+    def test_per_job_run_id_overrides_scheduler_run_id(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        s = Scheduler(workers=0, bus=bus, run_id="shared")
+        s.submit(JobSpec("t-echo", params={"value": 1}),
+                 run_id="t/alice/s1")
+        s.submit(JobSpec("t-echo", params={"value": 2}))
+        s.run()
+        bus.close()
+        run_ids = {e.job_id: e.run_id for e in sub}
+        assert set(run_ids.values()) == {"t/alice/s1", "shared"}

@@ -277,3 +277,68 @@ class TestSqliteConcurrency:
         path.write_bytes(b"SQLite format 3\x00" + b"\xff" * 64)
         with pytest.raises(sqlite3.DatabaseError):
             SqliteRunDatabase(path)
+
+
+class TestSqliteConcurrency:
+    # One SqliteRunDatabase instance may be shared by gateway threads
+    # and inherited across fork() by pool workers; every statement is
+    # serialized behind a lock and connections are pid-checked.
+
+    def test_threads_share_one_instance_without_busy_errors(
+            self, tmp_path):
+        import threading
+
+        db = SqliteRunDatabase(tmp_path / "runs.db")
+        errors = []
+
+        def hammer(thread_id):
+            try:
+                for i in range(25):
+                    rec = RunRecord(
+                        f"run-t{thread_id}", f"j{i:04d}", "locking-point",
+                        "aa" * 32, "succeeded", seed=i)
+                    db.record(rec)
+                    db.query(run_id=f"run-t{thread_id}")
+                    db.summary()
+            except Exception as exc:   # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(db.records()) == 4 * 25
+        db.close()
+
+    def test_forked_child_gets_fresh_connection(self, tmp_path):
+        import multiprocessing
+        import os
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        db = SqliteRunDatabase(tmp_path / "runs.db")
+        db.record(_make_records()[0])
+        parent_conn = db._conn
+
+        def child(database):
+            # The inherited handle belongs to the parent; the guard
+            # must replace it before any statement runs.
+            database.record(RunRecord(
+                "run-child", "j-child", "locking-point", "bb" * 32,
+                "succeeded", seed=7))
+            os._exit(0 if database._conn is not None
+                     and database._pid == os.getpid() else 1)
+
+        proc = ctx.Process(target=child, args=(db,))
+        proc.start()
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+        # Parent keeps its own connection and sees the child's write.
+        assert db._conn is parent_conn
+        assert [r.run_id for r in db.query(run_id="run-child")] \
+            == ["run-child"]
+        db.close()

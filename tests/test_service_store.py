@@ -483,3 +483,45 @@ class TestNetlistCacheIntegration:
         report = store.gc(grace_s=0.0)
         assert digest in report.removed
         assert store.get_netlist(digest) is None
+
+
+class TestDigestValidation:
+    # Digests arrive over the network (gateway URL paths) and from the
+    # CLI; syntax is enforced before any path construction so nothing
+    # traversal-shaped ever reaches the filesystem layer.
+
+    BAD = ["", "ab", "ab" * 31, "ab" * 33, "AB" * 32, "gg" * 32,
+           "../" + "ab" * 31 + "x", "..", "../../etc/passwd",
+           ("ab" * 32)[:-1] + "/", "ab/" + "cd" * 30 + "ef"]
+
+    def test_validate_digest_accepts_canonical(self):
+        from repro.service.store import validate_digest
+        digest = stable_hash({"ok": 1})
+        assert validate_digest(digest) == digest
+
+    @pytest.mark.parametrize("bad", BAD)
+    def test_malformed_digests_rejected_everywhere(self, bad, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put(bad, {"x": 1})
+        with pytest.raises(ValueError):
+            store.get(bad)
+        with pytest.raises(ValueError):
+            store.pin(bad)
+        with pytest.raises(ValueError):
+            store.unpin(bad)
+        with pytest.raises(ValueError):
+            bad in store
+        # Nothing was created anywhere under (or outside) the root.
+        assert len(store) == 0
+        assert not (tmp_path / ".pins").exists()
+
+    def test_non_string_digest_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.get(None)
+
+    def test_error_message_is_clean(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError, match="64 lowercase hex"):
+            store.get("../escape")
